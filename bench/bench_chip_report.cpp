@@ -1,0 +1,53 @@
+// Chip-budget report: translates the Table 2 solutions into fabricated-chip
+// terms (flow valves, transportation channels, control ports with and
+// without a multiplexer). The component-oriented method's fewer devices and
+// paths show up directly as a smaller valve/port budget — the physical
+// reality behind the paper's processing-cost objective.
+#include <iostream>
+
+#include "assays/benchmarks.hpp"
+#include "baseline/conventional.hpp"
+#include "chip/resources.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "util/table.hpp"
+
+using namespace cohls;
+
+int main() {
+  std::cout << "=== Chip budget of the Table 2 solutions ===\n\n";
+
+  core::SynthesisOptions options;
+  options.max_devices = 25;
+  options.layering.indeterminate_threshold = 10;
+
+  TextTable table({"Case", "Method", "Valves", "Channels", "Ports(direct)",
+                   "Ports(muxed)"});
+  const model::Assay cases[] = {
+      assays::kinase_activity_assay(),
+      assays::gene_expression_assay(),
+      assays::rt_qpcr_assay(),
+  };
+  int case_number = 0;
+  for (const model::Assay& assay : cases) {
+    ++case_number;
+    for (const bool conventional : {true, false}) {
+      const core::SynthesisReport report =
+          conventional ? baseline::synthesize_conventional(assay, options)
+                       : core::synthesize(assay, options);
+      const chip::ChipResources budget =
+          chip::estimate_resources(report.result, assay);
+      table.add_row({std::to_string(case_number), conventional ? "Conv." : "Our",
+                     std::to_string(budget.flow_valves),
+                     std::to_string(budget.channels),
+                     std::to_string(budget.control_ports_direct),
+                     std::to_string(budget.control_ports_multiplexed)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: fewer devices/paths shrink the valve and channel budget"
+               " — decisively on case 1; on capture-heavy assays the integrated"
+               " multi-accessory rings trade extra valves per device for fewer"
+               " channels, the same trade-off the paper's processing-cost weights"
+               " arbitrate)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 5: the resource-based eviction cost. The figure's
+// three scenarios have storage usage 1, 2, 1 and drag along 0, 0, 3
+// ancestor operations respectively; the min-cut tie-break picks the cut
+// with fewer sink-side vertices (c2 over c1 in Fig. 5(d)). This bench
+// rebuilds the scenarios and prints the computed eviction costs.
+#include <iostream>
+
+#include "core/layering.hpp"
+
+using namespace cohls;
+
+namespace {
+
+OperationId add(model::Assay& assay, const std::string& name, bool indeterminate,
+                std::vector<OperationId> parents) {
+  model::OperationSpec spec;
+  spec.name = name;
+  spec.duration = 10_min;
+  spec.indeterminate = indeterminate;
+  spec.parents = std::move(parents);
+  return assay.add_operation(spec);
+}
+
+void report(const char* scenario, const model::Assay& assay,
+            const std::vector<OperationId>& layer, OperationId victim,
+            std::int64_t expect_storage, std::size_t expect_moved_ancestors) {
+  const core::EvictionCost cost = core::eviction_cost(assay, layer, victim);
+  const std::size_t moved_ancestors = cost.moved.size() - 1;  // minus the victim
+  std::cout << scenario << ": storage=" << cost.storage
+            << " (expected " << expect_storage << "), ancestors moved="
+            << moved_ancestors << " (expected " << expect_moved_ancestors << ")  ["
+            << (cost.storage == expect_storage &&
+                        moved_ancestors == expect_moved_ancestors
+                    ? "match"
+                    : "MISMATCH")
+            << "]\n";
+  std::cout << "  moved set:";
+  for (const auto op : cost.moved) {
+    std::cout << ' ' << assay.operation(op).name();
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 5: min-cut eviction costs ===\n\n";
+
+  // Scenario (a): a single ancestor chain into o1 -> storage 1, 0 moved.
+  {
+    model::Assay assay("fig5a");
+    const auto a = add(assay, "a", false, {});
+    const auto o1 = add(assay, "o1 (ind)", true, {a});
+    report("(a) chain", assay, {a, o1}, o1, 1, 0);
+  }
+
+  // Scenario (b): two independent ancestor chains into o2 -> storage 2,
+  // 0 moved (cutting both incoming edges beats moving either chain).
+  {
+    model::Assay assay("fig5b");
+    const auto b = add(assay, "b", false, {});
+    const auto c = add(assay, "c", false, {});
+    const auto o2 = add(assay, "o2 (ind)", true, {b, c});
+    report("(b) two chains", assay, {b, c, o2}, o2, 2, 0);
+  }
+
+  // Scenario (c): a diamond fed by one external input -> the cheapest cut
+  // severs the single source edge and drags all 3 ancestors along:
+  // storage 1, 3 moved.
+  {
+    model::Assay assay("fig5c");
+    const auto d = add(assay, "d", false, {});
+    const auto e = add(assay, "e", false, {d});
+    const auto f = add(assay, "f", false, {d});
+    const auto o3 = add(assay, "o3 (ind)", true, {e, f});
+    report("(c) diamond", assay, {d, e, f, o3}, o3, 1, 3);
+  }
+
+  // Fig. 5(d): among equal-value cuts, prefer the one with fewer vertices
+  // on the sink side (c2 over c1). A chain a->b->o: cutting b->o (moves
+  // nothing) ties with cutting a->b (moves b) and with the source edge
+  // (moves a and b); the sink-closest cut must win.
+  {
+    model::Assay assay("fig5d");
+    const auto a = add(assay, "a", false, {});
+    const auto b = add(assay, "b", false, {a});
+    const auto o = add(assay, "o (ind)", true, {b});
+    std::cout << "\n(d) tie-break among equal cuts:\n";
+    report("    chain of ties", assay, {a, b, o}, o, 1, 0);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the substrate algorithms: the
+// bounded simplex, branch-and-bound, max-flow, layering, and a full
+// synthesis pass. These track the cost of the pieces the paper's runtime
+// column depends on.
+#include <benchmark/benchmark.h>
+
+#include "assays/benchmarks.hpp"
+#include "assays/random_assay.hpp"
+#include "core/layering.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "graph/max_flow.hpp"
+#include "lp/simplex.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cohls;
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng{7};
+  lp::LpModel model;
+  for (int j = 0; j < n; ++j) {
+    model.add_variable(0.0, 10.0, static_cast<double>(rng.uniform_int(-5, 5)));
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      const auto c = rng.uniform_int(-2, 2);
+      if (c != 0) {
+        terms.emplace_back(j, static_cast<double>(c));
+      }
+    }
+    model.add_constraint(std::move(terms), lp::RowSense::LessEqual,
+                         static_cast<double>(rng.uniform_int(5, 30)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_lp(model));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng{11};
+  milp::MilpModel model;
+  std::vector<lp::Term> row;
+  for (int i = 0; i < n; ++i) {
+    const auto b = model.add_binary(-static_cast<double>(rng.uniform_int(1, 9)));
+    row.emplace_back(b, static_cast<double>(rng.uniform_int(1, 5)));
+  }
+  model.add_constraint(std::move(row), lp::RowSense::LessEqual, 1.5 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::solve_milp(model));
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(8)->Arg(12);
+
+void BM_MaxFlow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng{13};
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::FlowNetwork net{n};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j && rng.bernoulli(0.15)) {
+          net.add_arc(i, j, rng.uniform_int(1, 20));
+        }
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(net.min_cut(0, n - 1));
+  }
+}
+BENCHMARK(BM_MaxFlow)->Arg(20)->Arg(60);
+
+void BM_Layering(benchmark::State& state) {
+  const model::Assay assay = assays::rt_qpcr_assay(static_cast<int>(state.range(0)));
+  core::LayeringOptions options;
+  options.indeterminate_threshold = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::layer_assay(assay, options));
+  }
+}
+BENCHMARK(BM_Layering)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_FullSynthesisCase1(benchmark::State& state) {
+  const model::Assay assay = assays::kinase_activity_assay();
+  core::SynthesisOptions options;
+  options.max_devices = 25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::synthesize(assay, options));
+  }
+}
+BENCHMARK(BM_FullSynthesisCase1);
+
+void BM_FullSynthesisCase2(benchmark::State& state) {
+  const model::Assay assay = assays::gene_expression_assay();
+  core::SynthesisOptions options;
+  options.max_devices = 25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::synthesize(assay, options));
+  }
+}
+BENCHMARK(BM_FullSynthesisCase2);
+
+}  // namespace

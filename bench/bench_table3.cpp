@@ -1,0 +1,77 @@
+// Reproduces Table 3: improvement from progressive re-synthesis on the two
+// hybrid-scheduled cases (2 and 3). The paper reports the assay execution
+// time and device count of the initial pass and of the first two
+// re-synthesis iterations: a large first improvement (~16-17%) from
+// transport refinement + posterior device knowledge, a small second one,
+// with the device count flat.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "assays/benchmarks.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "util/table.hpp"
+
+using namespace cohls;
+
+namespace {
+
+std::string percent(double previous, double current) {
+  if (previous <= 0.0) {
+    return "-";
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << (previous - current) / previous * 100.0
+      << '%';
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table 3: Improvement from Progressive Re-Synthesis ===\n\n";
+
+  core::SynthesisOptions options;
+  options.max_devices = 25;
+  options.layering.indeterminate_threshold = 10;
+  // Force at least two re-synthesis iterations to fill the table, matching
+  // the paper's reporting (it shows both iterations even when the second
+  // improvement is below the 10% continuation bar).
+  options.resynthesis_improvement_threshold = -1.0;
+  options.max_resynthesis_iterations = 2;
+
+  const model::Assay cases[] = {
+      assays::gene_expression_assay(),
+      assays::rt_qpcr_assay(),
+  };
+
+  TextTable table({"Case", "Metric", "Initial", "1st Ite.", "Improve", "2nd Ite.",
+                   "Improve"});
+  int case_number = 1;
+  for (const model::Assay& assay : cases) {
+    ++case_number;  // paper numbering: cases 2 and 3
+    const core::SynthesisReport report = core::synthesize(assay, options);
+    COHLS_ASSERT(report.iterations.size() >= 3, "expected initial + 2 iterations");
+    const auto& it0 = report.iterations[0];
+    const auto& it1 = report.iterations[1];
+    const auto& it2 = report.iterations[2];
+    table.add_row({std::to_string(case_number), "Exe.Time",
+                   it0.execution_time.to_string(), it1.execution_time.to_string(),
+                   percent(static_cast<double>(it0.execution_time.fixed().count()),
+                           static_cast<double>(it1.execution_time.fixed().count())),
+                   it2.execution_time.to_string(),
+                   percent(static_cast<double>(it1.execution_time.fixed().count()),
+                           static_cast<double>(it2.execution_time.fixed().count()))});
+    table.add_row({std::to_string(case_number), "#D.", std::to_string(it0.device_count),
+                   std::to_string(it1.device_count),
+                   percent(it0.device_count, it1.device_count),
+                   std::to_string(it2.device_count),
+                   percent(it1.device_count, it2.device_count)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper reference:\n";
+  std::cout << "  case 2: Exe.Time 295m -> 247m (16.27%) -> 244m (1.21%); #D. 21 flat\n";
+  std::cout << "  case 3: Exe.Time 641m -> 530m (17.32%) -> 492m (7.17%); #D. 24 flat\n";
+  return 0;
+}

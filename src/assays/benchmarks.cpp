@@ -1,0 +1,213 @@
+#include "assays/benchmarks.hpp"
+
+#include <string>
+
+namespace cohls::assays {
+
+namespace {
+using model::BuiltinAccessory;
+using model::Capacity;
+using model::ContainerKind;
+using model::OperationSpec;
+
+std::string tag(const std::string& name, int replicate) {
+  return name + " [" + std::to_string(replicate) + "]";
+}
+}  // namespace
+
+model::Assay kinase_activity_assay(int lanes) {
+  COHLS_EXPECT(lanes >= 1, "the assay needs at least one lane");
+  model::Assay assay("kinase activity radioassay [10]");
+  for (int lane = 0; lane < lanes; ++lane) {
+    // Bead-column preparation: sieve valves hold the beads in place.
+    OperationSpec bead_load;
+    bead_load.name = tag("bead column load", lane);
+    bead_load.container = ContainerKind::Chamber;
+    bead_load.capacity = Capacity::Medium;
+    bead_load.accessories = {BuiltinAccessory::kSieveValve};
+    bead_load.duration = 12_min;
+    const auto beads = assay.add_operation(bead_load);
+
+    OperationSpec sample_prep;
+    sample_prep.name = tag("sample preparation", lane);
+    sample_prep.container = ContainerKind::Chamber;
+    sample_prep.capacity = Capacity::Medium;
+    sample_prep.duration = 15_min;
+    const auto sample = assay.add_operation(sample_prep);
+
+    // The kinase reaction runs in a heated rotary mixer.
+    OperationSpec kinase;
+    kinase.name = tag("kinase reaction", lane);
+    kinase.container = ContainerKind::Ring;
+    kinase.capacity = Capacity::Medium;
+    kinase.accessories = {BuiltinAccessory::kPump, BuiltinAccessory::kHeatingPad};
+    kinase.duration = 30_min;
+    kinase.parents = {sample};
+    const auto reaction = assay.add_operation(kinase);
+
+    // Flow-reversal capture mixing through the bead column (Fig. 2(b)-(e)):
+    // a mixing operation executed *without* a classical mixer.
+    OperationSpec capture;
+    capture.name = tag("flow-reversal capture mix", lane);
+    capture.container = ContainerKind::Chamber;
+    capture.capacity = Capacity::Medium;
+    capture.accessories = {BuiltinAccessory::kSieveValve, BuiltinAccessory::kPump};
+    capture.duration = 20_min;
+    capture.parents = {beads, reaction};
+    const auto captured = assay.add_operation(capture);
+
+    // Washing raises sample concentration against the solid-phase support;
+    // any sieve-valve device will do (container unspecified).
+    OperationSpec wash;
+    wash.name = tag("wash", lane);
+    wash.accessories = {BuiltinAccessory::kSieveValve};
+    wash.duration = 10_min;
+    wash.parents = {captured};
+    const auto washed = assay.add_operation(wash);
+
+    OperationSpec elute;
+    elute.name = tag("elution", lane);
+    elute.accessories = {BuiltinAccessory::kSieveValve};
+    elute.duration = 8_min;
+    elute.parents = {washed};
+    const auto eluted = assay.add_operation(elute);
+
+    // Neutralization has no component demands at all.
+    OperationSpec neutralize;
+    neutralize.name = tag("neutralization", lane);
+    neutralize.duration = 5_min;
+    neutralize.parents = {eluted};
+    const auto neutral = assay.add_operation(neutralize);
+
+    OperationSpec detect;
+    detect.name = tag("radioassay imaging", lane);
+    detect.accessories = {BuiltinAccessory::kOpticalSystem};
+    detect.duration = 15_min;
+    detect.parents = {neutral};
+    (void)assay.add_operation(detect);
+  }
+  return assay;
+}
+
+model::Assay gene_expression_assay(int cells) {
+  COHLS_EXPECT(cells >= 1, "the assay needs at least one cell pipeline");
+  model::Assay assay("single-cell gene expression profiling [7]");
+  for (int cell = 0; cell < cells; ++cell) {
+    // Single-cell capture in a cell-separation module carved out of a mixer
+    // ring (Fig. 1); whether exactly one cell was caught is decided by a
+    // cyberphysical fluorescence check, so the duration is indeterminate.
+    OperationSpec capture;
+    capture.name = tag("single-cell capture", cell);
+    capture.container = ContainerKind::Ring;
+    capture.capacity = Capacity::Medium;
+    capture.accessories = {BuiltinAccessory::kPump, BuiltinAccessory::kCellTrap};
+    capture.duration = 10_min;  // minimum; reruns extend it
+    capture.indeterminate = true;
+    capture.parents = {};
+    const auto caught = assay.add_operation(capture);
+
+    OperationSpec lysis;
+    lysis.name = tag("cell lysis", cell);
+    lysis.accessories = {BuiltinAccessory::kHeatingPad};
+    lysis.duration = 10_min;
+    lysis.parents = {caught};
+    const auto lysed = assay.add_operation(lysis);
+
+    OperationSpec mrna;
+    mrna.name = tag("mRNA capture", cell);
+    mrna.accessories = {BuiltinAccessory::kSieveValve};
+    mrna.duration = 15_min;
+    mrna.parents = {lysed};
+    const auto captured_mrna = assay.add_operation(mrna);
+
+    OperationSpec rt;
+    rt.name = tag("reverse transcription", cell);
+    rt.accessories = {BuiltinAccessory::kHeatingPad};
+    rt.duration = 30_min;
+    rt.parents = {captured_mrna};
+    const auto cdna = assay.add_operation(rt);
+
+    // Pre-amplification requires efficient circulation mixing with heat.
+    OperationSpec preamp;
+    preamp.name = tag("pre-amplification", cell);
+    preamp.container = ContainerKind::Ring;
+    preamp.capacity = Capacity::Small;
+    preamp.accessories = {BuiltinAccessory::kPump, BuiltinAccessory::kHeatingPad};
+    preamp.duration = 40_min;
+    preamp.parents = {cdna};
+    const auto amplified = assay.add_operation(preamp);
+
+    OperationSpec wash;
+    wash.name = tag("wash", cell);
+    wash.accessories = {BuiltinAccessory::kSieveValve};
+    wash.duration = 8_min;
+    wash.parents = {amplified};
+    const auto washed = assay.add_operation(wash);
+
+    OperationSpec detect;
+    detect.name = tag("expression read-out", cell);
+    detect.accessories = {BuiltinAccessory::kOpticalSystem};
+    detect.duration = 12_min;
+    detect.parents = {washed};
+    (void)assay.add_operation(detect);
+  }
+  return assay;
+}
+
+model::Assay rt_qpcr_assay(int cells) {
+  COHLS_EXPECT(cells >= 1, "the assay needs at least one cell pipeline");
+  model::Assay assay("single-cell RT-qPCR [17]");
+  for (int cell = 0; cell < cells; ++cell) {
+    OperationSpec capture;
+    capture.name = tag("single-cell capture", cell);
+    capture.container = ContainerKind::Ring;
+    capture.capacity = Capacity::Medium;
+    capture.accessories = {BuiltinAccessory::kPump, BuiltinAccessory::kCellTrap};
+    capture.duration = 8_min;  // minimum; reruns extend it
+    capture.indeterminate = true;
+    const auto caught = assay.add_operation(capture);
+
+    OperationSpec lysis;
+    lysis.name = tag("lysis", cell);
+    lysis.accessories = {BuiltinAccessory::kHeatingPad};
+    lysis.duration = 10_min;
+    lysis.parents = {caught};
+    const auto lysed = assay.add_operation(lysis);
+
+    OperationSpec rt;
+    rt.name = tag("reverse transcription", cell);
+    rt.accessories = {BuiltinAccessory::kHeatingPad};
+    rt.duration = 30_min;
+    rt.parents = {lysed};
+    const auto cdna = assay.add_operation(rt);
+
+    // qPCR needs precise thermal cycling plus in-situ fluorescence.
+    OperationSpec qpcr;
+    qpcr.name = tag("qPCR amplification", cell);
+    qpcr.container = ContainerKind::Ring;
+    qpcr.capacity = Capacity::Small;
+    qpcr.accessories = {BuiltinAccessory::kPump, BuiltinAccessory::kHeatingPad,
+                        BuiltinAccessory::kOpticalSystem};
+    qpcr.duration = 45_min;
+    qpcr.parents = {cdna};
+    const auto amplified = assay.add_operation(qpcr);
+
+    OperationSpec wash;
+    wash.name = tag("wash", cell);
+    wash.accessories = {BuiltinAccessory::kSieveValve};
+    wash.duration = 6_min;
+    wash.parents = {amplified};
+    const auto washed = assay.add_operation(wash);
+
+    // Melt-curve read-out can reuse any optical device (e.g. a qPCR ring).
+    OperationSpec melt;
+    melt.name = tag("melt-curve read-out", cell);
+    melt.accessories = {BuiltinAccessory::kOpticalSystem};
+    melt.duration = 10_min;
+    melt.parents = {washed};
+    (void)assay.add_operation(melt);
+  }
+  return assay;
+}
+
+}  // namespace cohls::assays

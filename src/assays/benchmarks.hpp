@@ -1,0 +1,32 @@
+// Reconstructed benchmark assays of Sec. 5. The paper synthesizes three
+// bioassays — a kinase-activity radioassay [10], a single-cell gene
+// expression profiling assay [7], and a single-cell RT-qPCR assay [17] —
+// replicated "with the same protocol of the original assay" to 16, 70 and
+// 120 operations (0, 10 and 20 of them indeterminate). The wet-lab DAGs are
+// not published, so these builders reconstruct them from the cited
+// protocols: per-sample pipelines with plausible published step durations,
+// replicated per sample exactly as the paper replicates them. Only the op
+// counts, dependency shapes, indeterminate counts and component
+// requirements matter to the synthesis algorithms.
+#pragma once
+
+#include "model/assay.hpp"
+
+namespace cohls::assays {
+
+/// Case 1 [10]: kinase activity radioassay, `lanes` replicate lanes of 8
+/// operations each (bead-column capture with sieve valves and flow
+/// reversal, Fig. 2). Default 2 lanes = 16 operations, none indeterminate.
+[[nodiscard]] model::Assay kinase_activity_assay(int lanes = 2);
+
+/// Case 2 [7]: single-cell gene expression profiling, `cells` pipelines of
+/// 7 operations each, starting with an indeterminate single-cell capture
+/// (Fig. 1). Default 10 cells = 70 operations, 10 indeterminate.
+[[nodiscard]] model::Assay gene_expression_assay(int cells = 10);
+
+/// Case 3 [17]: high-throughput single-cell RT-qPCR, `cells` pipelines of 6
+/// operations each starting with an indeterminate capture. Default 20
+/// cells = 120 operations, 20 indeterminate.
+[[nodiscard]] model::Assay rt_qpcr_assay(int cells = 20);
+
+}  // namespace cohls::assays

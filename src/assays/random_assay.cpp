@@ -1,0 +1,62 @@
+#include "assays/random_assay.hpp"
+
+#include <string>
+
+namespace cohls::assays {
+
+model::Assay random_assay(std::uint64_t seed, const RandomAssayOptions& options) {
+  COHLS_EXPECT(options.operations >= 1, "need at least one operation");
+  COHLS_EXPECT(options.min_duration > Minutes{0} &&
+                   options.min_duration <= options.max_duration,
+               "invalid duration range");
+  Rng rng{seed};
+  model::Assay assay("random assay seed=" + std::to_string(seed));
+
+  for (int i = 0; i < options.operations; ++i) {
+    model::OperationSpec spec;
+    spec.name = "op" + std::to_string(i);
+
+    // Container: unspecified / ring / chamber.
+    const auto container_draw = rng.uniform_int(0, 2);
+    if (container_draw == 1) {
+      spec.container = model::ContainerKind::Ring;
+    } else if (container_draw == 2) {
+      spec.container = model::ContainerKind::Chamber;
+    }
+    // Capacity: often unspecified; otherwise one admissible for the
+    // container (or any when the container is free too).
+    if (rng.bernoulli(0.4)) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto cap = model::kAllCapacities[static_cast<std::size_t>(
+            rng.uniform_int(0, 3))];
+        if (!spec.container.has_value() || model::capacity_allowed(*spec.container, cap)) {
+          spec.capacity = cap;
+          break;
+        }
+      }
+    }
+    for (model::AccessoryId acc = 0; acc < model::BuiltinAccessory::kCount; ++acc) {
+      if (rng.bernoulli(0.25)) {
+        spec.accessories.insert(acc);
+      }
+    }
+    spec.duration = Minutes{rng.uniform_int(options.min_duration.count(),
+                                            options.max_duration.count())};
+    spec.indeterminate = rng.bernoulli(options.indeterminate_probability);
+
+    int parents = 0;
+    for (int p = 0; p < i && parents < options.max_parents; ++p) {
+      // Indeterminate parents are allowed; the layering algorithm handles
+      // them. Bias towards recent operations for pipeline-like shapes.
+      const double distance_penalty = 1.0 / (1.0 + 0.2 * (i - 1 - p));
+      if (rng.bernoulli(options.edge_probability * distance_penalty)) {
+        spec.parents.push_back(OperationId{p});
+        ++parents;
+      }
+    }
+    (void)assay.add_operation(spec);
+  }
+  return assay;
+}
+
+}  // namespace cohls::assays

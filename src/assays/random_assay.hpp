@@ -1,0 +1,29 @@
+// Seeded random assay generation for property tests and ablations: random
+// layered DAGs with random component requirements, a configurable fraction
+// of indeterminate operations, and guaranteed-satisfiable specs.
+#pragma once
+
+#include "model/assay.hpp"
+#include "util/rng.hpp"
+
+namespace cohls::assays {
+
+struct RandomAssayOptions {
+  int operations = 12;
+  /// Probability that an operation (without indeterminate descendants
+  /// forced) is indeterminate.
+  double indeterminate_probability = 0.15;
+  /// Probability of each candidate dependency edge.
+  double edge_probability = 0.25;
+  /// Maximum parents per operation.
+  int max_parents = 3;
+  Minutes min_duration{5};
+  Minutes max_duration{40};
+};
+
+/// Generates a reproducible random assay. Operations have ids 0..n-1 with
+/// edges only from lower to higher ids (a DAG by construction).
+[[nodiscard]] model::Assay random_assay(std::uint64_t seed,
+                                        const RandomAssayOptions& options = {});
+
+}  // namespace cohls::assays

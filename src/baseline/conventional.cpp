@@ -1,0 +1,43 @@
+#include "baseline/conventional.hpp"
+
+namespace cohls::baseline {
+
+model::DeviceConfig class_config(const model::Operation& op) {
+  model::DeviceConfig config;
+  if (op.container().has_value()) {
+    config.container = *op.container();
+  } else if (op.capacity().has_value() && *op.capacity() == model::Capacity::Large) {
+    config.container = model::ContainerKind::Ring;  // only rings go large
+  } else {
+    config.container = model::ContainerKind::Chamber;  // cheaper default
+  }
+  if (op.capacity().has_value()) {
+    config.capacity = *op.capacity();
+  } else {
+    config.capacity = config.container == model::ContainerKind::Ring
+                          ? model::Capacity::Small
+                          : model::Capacity::Tiny;
+  }
+  config.accessories = op.accessories();
+  COHLS_ASSERT(config.valid(), "class configuration must be admissible");
+  return config;
+}
+
+bool class_match(const model::Operation& op, const model::DeviceConfig& config) {
+  return class_config(op) == config;
+}
+
+core::SynthesisReport synthesize_conventional(const model::Assay& assay,
+                                              const core::SynthesisOptions& options,
+                                              Minutes slot_size) {
+  COHLS_EXPECT(slot_size >= Minutes{0}, "slot size must be non-negative");
+  core::PassPolicy policy;
+  policy.binds = [](const model::Operation& op, const model::DeviceConfig& config) {
+    return class_match(op, config);
+  };
+  policy.new_config = [](const model::Operation& op) { return class_config(op); };
+  policy.slot_size = slot_size;
+  return core::synthesize(assay, options, policy);
+}
+
+}  // namespace cohls::baseline

@@ -1,0 +1,46 @@
+// Chip-level resource estimation. The paper's processing-cost constants
+// abstract over what a fabricated chip actually needs: valves on the flow
+// layer, control ports driving them, and flow channels. This module makes
+// those concrete with the standard continuous-flow budget — two isolation
+// valves per chamber, a three-valve peristaltic pump per rotary mixer [8],
+// one sieve valve per column stage, two gate valves per inter-device
+// channel — and the classic multiplexer bound (2·ceil(log2 N) control lines
+// can address N flow valves).
+#pragma once
+
+#include "model/assay.hpp"
+#include "schedule/types.hpp"
+
+namespace cohls::chip {
+
+/// Per-component valve / port contributions; override to match a process.
+struct ValveModel {
+  int valves_per_chamber = 2;  ///< the two separating valves
+  int valves_per_ring = 3;     ///< ring closure + bus taps
+  int valves_per_pump = 3;     ///< peristaltic pump [8]
+  int valves_per_sieve = 1;
+  int valves_per_cell_trap = 0;  ///< passive PDMS structure
+  int valves_per_path = 2;       ///< a gate valve at each channel end
+  /// Valves assumed for accessory kinds beyond the built-ins.
+  int valves_per_custom_accessory = 1;
+  int ports_per_heating_pad = 1;   ///< heater supply line
+  int ports_per_optical = 1;       ///< detector readout line
+};
+
+struct ChipResources {
+  int flow_valves = 0;
+  int channels = 0;  ///< inter-device transportation channels
+  /// One dedicated pressure source per flow valve, plus heater/optical lines.
+  int control_ports_direct = 0;
+  /// Multiplexed control: 2*ceil(log2(valves)) shared lines, plus
+  /// heater/optical lines (they cannot share a binary multiplexer).
+  int control_ports_multiplexed = 0;
+};
+
+/// Estimates the fabricated-chip budget of a synthesis result (used devices
+/// and the transportation channels among them).
+[[nodiscard]] ChipResources estimate_resources(const schedule::SynthesisResult& result,
+                                               const model::Assay& assay,
+                                               const ValveModel& valves = {});
+
+}  // namespace cohls::chip

@@ -1,0 +1,55 @@
+#include "core/hybrid_synthesizer.hpp"
+
+#include <algorithm>
+
+namespace cohls::core {
+
+schedule::SynthesisResult run_pass(const model::Assay& assay, const LayerPlan& plan,
+                                   const schedule::TransportPlan& transport,
+                                   const SynthesisOptions& options,
+                                   const std::vector<KnownDevice>& known_devices,
+                                   const PassPolicy& policy) {
+  schedule::SynthesisResult result;
+  result.devices = model::DeviceInventory(options.max_devices);
+
+  std::map<OperationId, DeviceId> prior_binding;
+  std::set<schedule::DevicePath> existing_paths;
+  std::vector<bool> hint_consumed(known_devices.size(), false);
+
+  for (int li = 0; li < plan.layer_count(); ++li) {
+    schedule::LayerRequest request;
+    request.layer = LayerId{li};
+    request.ops = plan.layer(li);
+    request.prior_binding = prior_binding;
+    for (const model::Device& device : result.devices.devices()) {
+      request.usable_devices.push_back(device.id);
+    }
+    // Hints: configurations the previous iteration's *later* layers
+    // integrated (D \ D'_i), not yet re-integrated in this pass.
+    for (std::size_t k = 0; k < known_devices.size(); ++k) {
+      if (!hint_consumed[k] && known_devices[k].created_in_layer > li) {
+        request.hints.push_back(
+            schedule::DeviceHint{known_devices[k].config, static_cast<int>(k)});
+      }
+    }
+    request.existing_paths = existing_paths;
+    request.binds = policy.binds;
+    request.new_config = policy.new_config;
+    request.slot_size = policy.slot_size;
+
+    LayerOutcome outcome = synthesize_layer(request, assay, transport, options.costs,
+                                            options.engine, result.devices);
+    result.devices = std::move(outcome.inventory);
+    for (const int key : outcome.result.consumed_hints) {
+      hint_consumed[static_cast<std::size_t>(key)] = true;
+    }
+    for (const auto& item : outcome.result.schedule.items) {
+      prior_binding[item.op] = item.device;
+    }
+    result.layers.push_back(std::move(outcome.result.schedule));
+    existing_paths = result.paths(assay);
+  }
+  return result;
+}
+
+}  // namespace cohls::core

@@ -1,0 +1,42 @@
+// One full synthesis pass over a layered assay (the inner loop of
+// Sec. 3.2). Layers are synthesized in order; the device set D grows
+// monotonically (D_i = D_{i-1} ∪ D'_i); devices known to be integrated by
+// later layers (from the previous re-synthesis iteration) are offered as
+// zero-cost hints.
+#pragma once
+
+#include <functional>
+
+#include "core/layer_synthesizer.hpp"
+#include "core/layering.hpp"
+#include "core/options.hpp"
+#include "schedule/types.hpp"
+
+namespace cohls::core {
+
+/// A device the previous iteration's pass integrated, usable as a hint.
+struct KnownDevice {
+  model::DeviceConfig config;
+  /// Layer (index into the plan) whose synthesis created it.
+  int created_in_layer = 0;
+};
+
+/// Customization hooks shared with the conventional baseline.
+struct PassPolicy {
+  /// Binding predicate override (empty = component-oriented rule).
+  std::function<bool(const model::Operation&, const model::DeviceConfig&)> binds;
+  /// New-device configuration override (empty = cheapest compatible).
+  std::function<model::DeviceConfig(const model::Operation&)> new_config;
+  /// Fixed-time-slot quantization (0 = continuous start times).
+  Minutes slot_size{0};
+};
+
+/// Runs one pass. `known_devices` may be empty (first iteration). In later
+/// iterations, layer L_i sees the configs created by layers *after* i as
+/// hints (D \ D'_i inheritance).
+[[nodiscard]] schedule::SynthesisResult run_pass(
+    const model::Assay& assay, const LayerPlan& plan,
+    const schedule::TransportPlan& transport, const SynthesisOptions& options,
+    const std::vector<KnownDevice>& known_devices = {}, const PassPolicy& policy = {});
+
+}  // namespace cohls::core

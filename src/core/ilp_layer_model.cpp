@@ -1,0 +1,608 @@
+#include "core/ilp_layer_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "model/compatibility.hpp"
+#include "util/check.hpp"
+
+namespace cohls::core {
+
+namespace {
+std::string var_name(const std::string& base, int a, int b = -1) {
+  std::ostringstream out;
+  out << base << '_' << a;
+  if (b >= 0) {
+    out << '_' << b;
+  }
+  return out.str();
+}
+}  // namespace
+
+IlpLayerModel::IlpLayerModel(const model::Assay& assay, IlpLayerInputs inputs,
+                             const schedule::TransportPlan& transport,
+                             const model::CostModel& costs)
+    : assay_(assay), inputs_(std::move(inputs)), transport_(transport), costs_(costs) {
+  COHLS_EXPECT(!inputs_.ops.empty(), "a layer model needs at least one operation");
+  COHLS_EXPECT(inputs_.new_slots >= 0, "new slot count must be non-negative");
+  in_layer_ = std::set<OperationId>(inputs_.ops.begin(), inputs_.ops.end());
+  for (std::size_t i = 0; i < inputs_.ops.size(); ++i) {
+    op_index_[inputs_.ops[i]] = static_cast<int>(i);
+  }
+  build();
+}
+
+int IlpLayerModel::op_index(OperationId id) const {
+  const auto it = op_index_.find(id);
+  COHLS_EXPECT(it != op_index_.end(), "operation is not in this layer");
+  return it->second;
+}
+
+lp::Col IlpLayerModel::binding_var(int op, int device) const {
+  COHLS_EXPECT(op >= 0 && op < static_cast<int>(binding_.size()), "op index out of range");
+  COHLS_EXPECT(device >= 0 && device < device_count(), "device index out of range");
+  return binding_[static_cast<std::size_t>(op)][static_cast<std::size_t>(device)];
+}
+
+lp::Col IlpLayerModel::start_var(int op) const {
+  COHLS_EXPECT(op >= 0 && op < static_cast<int>(start_.size()), "op index out of range");
+  return start_[static_cast<std::size_t>(op)];
+}
+
+Minutes IlpLayerModel::outgoing_reserve(OperationId id) const {
+  Minutes reserve{0};
+  for (const OperationId child : assay_.children(id)) {
+    if (in_layer_.count(child)) {
+      reserve = std::max(reserve, transport_.edge_time(id, child));
+    }
+  }
+  return reserve;
+}
+
+bool IlpLayerModel::device_compatible(const model::Operation& op, int device) const {
+  const auto& config = device_config_[static_cast<std::size_t>(device)];
+  if (config.has_value()) {
+    return model::is_compatible(op, *config);
+  }
+  return true;  // new slot: the configuration constraints handle legality
+}
+
+void IlpLayerModel::build() {
+  // --- visible device list -------------------------------------------------
+  for (const auto& [id, config] : inputs_.fixed_devices) {
+    device_kind_.push_back(SlotKind::Fixed);
+    device_config_.push_back(config);
+    fixed_ids_.push_back(id);
+  }
+  for (const auto& hint : inputs_.hints) {
+    device_kind_.push_back(SlotKind::Hint);
+    device_config_.push_back(hint.config);
+  }
+  for (int s = 0; s < inputs_.new_slots; ++s) {
+    device_kind_.push_back(SlotKind::New);
+    device_config_.push_back(std::nullopt);
+  }
+  COHLS_EXPECT(device_count() >= 1, "the layer model needs at least one device slot");
+
+  // --- horizon and big-M -----------------------------------------------------
+  double total = 0.0;
+  Minutes max_cross{0};
+  for (const OperationId id : inputs_.ops) {
+    total += static_cast<double>(
+        (assay_.operation(id).duration() + outgoing_reserve(id)).count());
+    for (const OperationId parent : assay_.operation(id).parents()) {
+      if (!in_layer_.count(parent)) {
+        max_cross = std::max(max_cross, transport_.edge_time(parent, id));
+      }
+    }
+  }
+  horizon_ = total + static_cast<double>(max_cross.count());
+  big_m_ = horizon_ + 1.0;
+
+  // --- core variables --------------------------------------------------------
+  const int n = static_cast<int>(inputs_.ops.size());
+  binding_.assign(static_cast<std::size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < device_count(); ++j) {
+      binding_[static_cast<std::size_t>(i)].push_back(
+          model_.add_binary(0.0, var_name("o_d", i, j)));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    start_.push_back(model_.add_variable(milp::VarKind::Integer, 0.0, horizon_, 0.0,
+                                         var_name("st", i)));
+  }
+  makespan_ = model_.add_variable(milp::VarKind::Continuous, 0.0, horizon_,
+                                  costs_.weight_time(), "sum_t");
+
+  add_device_configuration();
+  add_binding_consistency();
+  add_dependencies();
+  add_conflicts();
+  add_indeterminate_rules();
+  add_objective_sums();
+}
+
+// Constraints (1)-(4), gated on a `used` indicator so an untouched slot
+// carries no configuration and no cost.
+void IlpLayerModel::add_device_configuration() {
+  // Accessory kinds any layer operation requires; other kinds can only
+  // raise cost, so new slots never need them.
+  std::set<model::AccessoryId> relevant;
+  for (const OperationId id : inputs_.ops) {
+    for (const model::AccessoryId acc : assay_.operation(id).accessories().to_list()) {
+      relevant.insert(acc);
+    }
+  }
+
+  for (int j = 0; j < device_count(); ++j) {
+    if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
+      continue;
+    }
+    NewSlotVars vars;
+    vars.used = model_.add_binary(0.0, var_name("d_used", j));
+    vars.ring = model_.add_binary(0.0, var_name("d_r", j));
+    vars.chamber = model_.add_binary(0.0, var_name("d_ch", j));
+    for (const model::Capacity cap : model::kAllCapacities) {
+      vars.capacity[static_cast<std::size_t>(cap)] =
+          model_.add_binary(0.0, var_name("d_c", j, static_cast<int>(cap)));
+      vars.ring_extra[static_cast<std::size_t>(cap)] = model_.add_variable(
+          milp::VarKind::Continuous, 0.0, 1.0, 0.0,
+          var_name("w", j, static_cast<int>(cap)));
+    }
+    for (const model::AccessoryId acc : relevant) {
+      vars.accessories[acc] = model_.add_binary(0.0, var_name("d_acc", j, acc));
+    }
+
+    // (1): exactly one container — when the slot is used at all.
+    model_.add_constraint({{vars.ring, 1.0}, {vars.chamber, 1.0}, {vars.used, -1.0}},
+                          lp::RowSense::Equal, 0.0, var_name("cfg_container", j));
+    // (2): exactly one capacity — when used.
+    {
+      std::vector<lp::Term> terms;
+      for (const model::Capacity cap : model::kAllCapacities) {
+        terms.emplace_back(vars.capacity[static_cast<std::size_t>(cap)], 1.0);
+      }
+      terms.emplace_back(vars.used, -1.0);
+      model_.add_constraint(std::move(terms), lp::RowSense::Equal, 0.0,
+                            var_name("cfg_capacity", j));
+    }
+    // (3) as '>=': a ring's capacity lies in {large, medium, small}
+    // (equivalently, tiny implies chamber).
+    model_.add_constraint(
+        {{vars.capacity[static_cast<std::size_t>(model::Capacity::Large)], 1.0},
+         {vars.capacity[static_cast<std::size_t>(model::Capacity::Medium)], 1.0},
+         {vars.capacity[static_cast<std::size_t>(model::Capacity::Small)], 1.0},
+         {vars.ring, -1.0}},
+        lp::RowSense::GreaterEqual, 0.0, var_name("cfg_ring_caps", j));
+    // (4) as '>=': a chamber's capacity lies in {medium, small, tiny}.
+    model_.add_constraint(
+        {{vars.capacity[static_cast<std::size_t>(model::Capacity::Medium)], 1.0},
+         {vars.capacity[static_cast<std::size_t>(model::Capacity::Small)], 1.0},
+         {vars.capacity[static_cast<std::size_t>(model::Capacity::Tiny)], 1.0},
+         {vars.chamber, -1.0}},
+        lp::RowSense::GreaterEqual, 0.0, var_name("cfg_chamber_caps", j));
+    // Accessories only on used slots.
+    for (const auto& [acc, col] : vars.accessories) {
+      model_.add_constraint({{col, 1.0}, {vars.used, -1.0}}, lp::RowSense::LessEqual, 0.0,
+                            var_name("cfg_acc_used", j, acc));
+    }
+    // w = ring AND capacity (lower-bounded product; the objective pushes w
+    // down, so only the >= side is needed).
+    for (const model::Capacity cap : model::kAllCapacities) {
+      model_.add_constraint(
+          {{vars.ring_extra[static_cast<std::size_t>(cap)], 1.0},
+           {vars.ring, -1.0},
+           {vars.capacity[static_cast<std::size_t>(cap)], -1.0}},
+          lp::RowSense::GreaterEqual, -1.0, var_name("cfg_ring_cap_link", j,
+                                                     static_cast<int>(cap)));
+    }
+    new_slot_vars_.push_back(vars);
+  }
+}
+
+// Constraints (5)-(8).
+void IlpLayerModel::add_binding_consistency() {
+  const int n = static_cast<int>(inputs_.ops.size());
+  int new_slot_counter = 0;
+  std::vector<int> new_slot_of_device(static_cast<std::size_t>(device_count()), -1);
+  for (int j = 0; j < device_count(); ++j) {
+    if (device_kind_[static_cast<std::size_t>(j)] == SlotKind::New) {
+      new_slot_of_device[static_cast<std::size_t>(j)] = new_slot_counter++;
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const model::Operation& op = assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]);
+    // (5): bound to exactly one device.
+    std::vector<lp::Term> sum;
+    for (int j = 0; j < device_count(); ++j) {
+      sum.emplace_back(binding_var(i, j), 1.0);
+    }
+    model_.add_constraint(std::move(sum), lp::RowSense::Equal, 1.0,
+                          var_name("bind_once", i));
+
+    for (int j = 0; j < device_count(); ++j) {
+      const lp::Col od = binding_var(i, j);
+      if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
+        // Fixed / hint: compatibility is a constant; forbid when violated.
+        if (!model::is_compatible(op, *device_config_[static_cast<std::size_t>(j)])) {
+          model_.lp().set_bounds(od, 0.0, 0.0);
+        }
+        continue;
+      }
+      const NewSlotVars& vars =
+          new_slot_vars_[static_cast<std::size_t>(new_slot_of_device[static_cast<std::size_t>(j)])];
+      // Binding implies the slot is used.
+      model_.add_constraint({{od, 1.0}, {vars.used, -1.0}}, lp::RowSense::LessEqual, 0.0,
+                            var_name("bind_used", i, j));
+      // (6): container requirement.
+      if (op.container().has_value()) {
+        const lp::Col want =
+            *op.container() == model::ContainerKind::Ring ? vars.ring : vars.chamber;
+        model_.add_constraint({{want, 1.0}, {od, -1.0}}, lp::RowSense::GreaterEqual, 0.0,
+                              var_name("bind_container", i, j));
+      }
+      // (8): capacity requirement.
+      if (op.capacity().has_value()) {
+        model_.add_constraint(
+            {{vars.capacity[static_cast<std::size_t>(*op.capacity())], 1.0}, {od, -1.0}},
+            lp::RowSense::GreaterEqual, 0.0, var_name("bind_capacity", i, j));
+      }
+      // (7): accessory requirements.
+      for (const model::AccessoryId acc : op.accessories().to_list()) {
+        model_.add_constraint({{vars.accessories.at(acc), 1.0}, {od, -1.0}},
+                              lp::RowSense::GreaterEqual, 0.0,
+                              var_name("bind_accessory", i, j * 100 + acc));
+      }
+    }
+  }
+}
+
+// Constraint (9), with the refinement that co-located pairs pay no
+// transport: st_c >= st_p + dur_p + t_e * (1 - same_pc), where same_pc is a
+// linearized same-device indicator.
+void IlpLayerModel::add_dependencies() {
+  for (const OperationId child_id : inputs_.ops) {
+    const model::Operation& child = assay_.operation(child_id);
+    const int c = op_index(child_id);
+    for (const OperationId parent_id : child.parents()) {
+      if (in_layer_.count(parent_id)) {
+        const int p = op_index(parent_id);
+        COHLS_EXPECT(!assay_.operation(parent_id).indeterminate(),
+                     "indeterminate operations must not have same-layer children");
+        const double dur_p =
+            static_cast<double>(assay_.operation(parent_id).duration().count());
+        const double t = static_cast<double>(
+            transport_.edge_time(parent_id, child_id).count());
+        if (t == 0.0) {
+          model_.add_constraint({{start_var(c), 1.0}, {start_var(p), -1.0}},
+                                lp::RowSense::GreaterEqual, dur_p,
+                                var_name("dep", p, c));
+          continue;
+        }
+        // same = sum_j z_j with z_j <= o_d[p][j], z_j <= o_d[c][j].
+        const lp::Col same = model_.add_variable(milp::VarKind::Continuous, 0.0, 1.0, 0.0,
+                                                 var_name("same", p, c));
+        std::vector<lp::Term> same_sum{{same, 1.0}};
+        for (int j = 0; j < device_count(); ++j) {
+          const lp::Col z = model_.add_variable(milp::VarKind::Continuous, 0.0, 1.0, 0.0,
+                                                var_name("z", p * 1000 + c, j));
+          model_.add_constraint({{z, 1.0}, {binding_var(p, j), -1.0}},
+                                lp::RowSense::LessEqual, 0.0);
+          model_.add_constraint({{z, 1.0}, {binding_var(c, j), -1.0}},
+                                lp::RowSense::LessEqual, 0.0);
+          same_sum.emplace_back(z, -1.0);
+        }
+        model_.add_constraint(std::move(same_sum), lp::RowSense::LessEqual, 0.0,
+                              var_name("same_def", p, c));
+        // st_c - st_p - t*same >= dur_p + t ... rearranged:
+        model_.add_constraint(
+            {{start_var(c), 1.0}, {start_var(p), -1.0}, {same, -t}},
+            lp::RowSense::GreaterEqual, dur_p + t, var_name("dep", p, c));
+      } else {
+        // Cross-layer parent: the inherited reagent must arrive first.
+        const double t = static_cast<double>(
+            transport_.edge_time(parent_id, child_id).count());
+        if (t == 0.0) {
+          continue;
+        }
+        const auto prior = inputs_.prior_binding.find(parent_id);
+        int parent_device = -1;
+        if (prior != inputs_.prior_binding.end()) {
+          for (std::size_t f = 0; f < fixed_ids_.size(); ++f) {
+            if (fixed_ids_[f] == prior->second) {
+              parent_device = static_cast<int>(f);
+              break;
+            }
+          }
+        }
+        if (parent_device >= 0) {
+          // st_c >= t * (1 - o_d[c][parent_device])
+          model_.add_constraint(
+              {{start_var(c), 1.0}, {binding_var(c, parent_device), t}},
+              lp::RowSense::GreaterEqual, t, var_name("dep_cross", c, parent_device));
+        } else {
+          model_.add_constraint({{start_var(c), 1.0}}, lp::RowSense::GreaterEqual, t,
+                                var_name("dep_cross", c));
+        }
+      }
+    }
+  }
+}
+
+// Constraints (10)-(13). Occupation of an operation includes its
+// conservative outgoing-transport reserve, matching the heuristic engine.
+void IlpLayerModel::add_conflicts() {
+  const int n = static_cast<int>(inputs_.ops.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const OperationId id_a = inputs_.ops[static_cast<std::size_t>(a)];
+      const OperationId id_b = inputs_.ops[static_cast<std::size_t>(b)];
+      const double occ_a = static_cast<double>(
+          (assay_.operation(id_a).duration() + outgoing_reserve(id_a)).count());
+      const double occ_b = static_cast<double>(
+          (assay_.operation(id_b).duration() + outgoing_reserve(id_b)).count());
+      const lp::Col q0 = model_.add_binary(0.0, var_name("q0", a, b));
+      const lp::Col q1 = model_.add_binary(0.0, var_name("q1", a, b));
+      const lp::Col q2 = model_.add_binary(0.0, var_name("q2", a, b));
+      // (10): q0 = 0 forces a to start after b's occupation ends.
+      model_.add_constraint({{start_var(a), 1.0}, {q0, big_m_}, {start_var(b), -1.0}},
+                            lp::RowSense::GreaterEqual, occ_b, var_name("cfl10", a, b));
+      // (11): q1 = 0 forces a's occupation to end before b starts.
+      model_.add_constraint({{start_var(a), 1.0}, {q1, -big_m_}, {start_var(b), -1.0}},
+                            lp::RowSense::LessEqual, -occ_a, var_name("cfl11", a, b));
+      // (12): q2 = 0 forces distinct devices.
+      for (int j = 0; j < device_count(); ++j) {
+        model_.add_constraint(
+            {{binding_var(a, j), 1.0}, {binding_var(b, j), 1.0}, {q2, -1.0}},
+            lp::RowSense::LessEqual, 1.0, var_name("cfl12", a * 1000 + b, j));
+      }
+      // (13): at least one of the three must be zero.
+      model_.add_constraint({{q0, 1.0}, {q1, 1.0}, {q2, 1.0}}, lp::RowSense::LessEqual,
+                            2.0, var_name("cfl13", a, b));
+    }
+  }
+}
+
+// Constraint (14) plus the parallel-execution rule for indeterminate
+// operations.
+void IlpLayerModel::add_indeterminate_rules() {
+  std::vector<int> indeterminate;
+  for (const OperationId id : inputs_.ops) {
+    if (assay_.operation(id).indeterminate()) {
+      indeterminate.push_back(op_index(id));
+    }
+  }
+  for (const int i : indeterminate) {
+    const double min_dur = static_cast<double>(
+        assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]).duration().count());
+    for (std::size_t a = 0; a < inputs_.ops.size(); ++a) {
+      if (static_cast<int>(a) == i) {
+        continue;
+      }
+      // st_a <= st_i + dur_i.
+      model_.add_constraint(
+          {{start_var(static_cast<int>(a)), 1.0}, {start_var(i), -1.0}},
+          lp::RowSense::LessEqual, min_dur, var_name("ind14", static_cast<int>(a), i));
+    }
+  }
+  // "Indeterminate operations are mapped to different devices to allow
+  // parallel execution."
+  if (indeterminate.size() > 1) {
+    for (int j = 0; j < device_count(); ++j) {
+      std::vector<lp::Term> terms;
+      for (const int i : indeterminate) {
+        terms.emplace_back(binding_var(i, j), 1.0);
+      }
+      model_.add_constraint(std::move(terms), lp::RowSense::LessEqual, 1.0,
+                            var_name("ind_parallel", j));
+    }
+  }
+}
+
+// (15) makespan, (16)-(20) area/processing of new slots, (21) paths.
+void IlpLayerModel::add_objective_sums() {
+  // (15): sum_t >= st_i + dur_i for every operation.
+  for (std::size_t i = 0; i < inputs_.ops.size(); ++i) {
+    const double dur =
+        static_cast<double>(assay_.operation(inputs_.ops[i]).duration().count());
+    model_.add_constraint({{makespan_, 1.0}, {start_var(static_cast<int>(i)), -1.0}},
+                          lp::RowSense::GreaterEqual, dur,
+                          var_name("mk", static_cast<int>(i)));
+  }
+
+  // (16)-(20): configuration costs of new slots, folded into the objective
+  // coefficients. area(cfg) = chamber_area(cap) + w * (ring_area - chamber),
+  // likewise for container processing; accessory processing per accessory.
+  int slot = 0;
+  for (int j = 0; j < device_count(); ++j) {
+    if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
+      continue;
+    }
+    NewSlotVars& vars = new_slot_vars_[static_cast<std::size_t>(slot++)];
+    // cost_j >= C_a * area + C_pr * processing of the chosen configuration,
+    // expressed through an epigraph variable with objective coefficient 1
+    // (minimization pins it to the configuration cost).
+    const lp::Col cost = model_.add_variable(milp::VarKind::Continuous, 0.0,
+                                             lp::kInfinity, 1.0, var_name("slotcost", j));
+    std::vector<lp::Term> defn{{cost, 1.0}};
+    for (const model::Capacity cap : model::kAllCapacities) {
+      const double chamber_part =
+          costs_.weight_area() * costs_.area(model::ContainerKind::Chamber, cap) +
+          costs_.weight_processing() *
+              costs_.container_processing(model::ContainerKind::Chamber, cap);
+      const double ring_part =
+          costs_.weight_area() * costs_.area(model::ContainerKind::Ring, cap) +
+          costs_.weight_processing() *
+              costs_.container_processing(model::ContainerKind::Ring, cap);
+      defn.emplace_back(vars.capacity[static_cast<std::size_t>(cap)], -chamber_part);
+      defn.emplace_back(vars.ring_extra[static_cast<std::size_t>(cap)],
+                        -(ring_part - chamber_part));
+    }
+    for (const auto& [acc, col] : vars.accessories) {
+      defn.emplace_back(col,
+                        -costs_.weight_processing() * assay_.registry().processing_cost(acc));
+    }
+    model_.add_constraint(std::move(defn), lp::RowSense::GreaterEqual, 0.0,
+                          var_name("slotcost_def", j));
+  }
+
+  // (21): path counting over unordered visible-device pairs. Pairs of fixed
+  // devices whose path already exists cost nothing.
+  const auto path_var = [this](int j1, int j2) -> lp::Col {
+    const auto key = j1 < j2 ? std::make_pair(j1, j2) : std::make_pair(j2, j1);
+    const auto it = path_vars_.find(key);
+    if (it != path_vars_.end()) {
+      return it->second;
+    }
+    double cost = costs_.weight_paths();
+    if (device_kind_[static_cast<std::size_t>(j1)] == SlotKind::Fixed &&
+        device_kind_[static_cast<std::size_t>(j2)] == SlotKind::Fixed) {
+      const auto existing = schedule::make_path(fixed_ids_[static_cast<std::size_t>(j1)],
+                                                fixed_ids_[static_cast<std::size_t>(j2)]);
+      if (inputs_.existing_paths.count(existing)) {
+        cost = 0.0;
+      }
+    }
+    const lp::Col col = model_.add_binary(cost, var_name("p", key.first, key.second));
+    path_vars_.emplace(key, col);
+    return col;
+  };
+
+  for (const OperationId child_id : inputs_.ops) {
+    const int c = op_index(child_id);
+    for (const OperationId parent_id : assay_.operation(child_id).parents()) {
+      if (in_layer_.count(parent_id)) {
+        const int p = op_index(parent_id);
+        for (int j1 = 0; j1 < device_count(); ++j1) {
+          for (int j2 = 0; j2 < device_count(); ++j2) {
+            if (j1 == j2) {
+              continue;
+            }
+            // o_d[p][j1] + o_d[c][j2] - 1 <= p_{j1,j2}
+            model_.add_constraint({{binding_var(p, j1), 1.0},
+                                   {binding_var(c, j2), 1.0},
+                                   {path_var(j1, j2), -1.0}},
+                                  lp::RowSense::LessEqual, 1.0);
+          }
+        }
+      } else {
+        const auto prior = inputs_.prior_binding.find(parent_id);
+        if (prior == inputs_.prior_binding.end()) {
+          continue;
+        }
+        int parent_device = -1;
+        for (std::size_t f = 0; f < fixed_ids_.size(); ++f) {
+          if (fixed_ids_[f] == prior->second) {
+            parent_device = static_cast<int>(f);
+            break;
+          }
+        }
+        if (parent_device < 0) {
+          continue;
+        }
+        for (int j = 0; j < device_count(); ++j) {
+          if (j == parent_device) {
+            continue;
+          }
+          // Binding the child elsewhere uses (and may create) the path.
+          model_.add_constraint(
+              {{binding_var(c, j), 1.0}, {path_var(parent_device, j), -1.0}},
+              lp::RowSense::LessEqual, 0.0);
+        }
+      }
+    }
+  }
+}
+
+schedule::LayerResult IlpLayerModel::decode(const std::vector<double>& solution,
+                                            model::DeviceInventory& inventory) const {
+  COHLS_EXPECT(static_cast<int>(solution.size()) == model_.variable_count(),
+               "solution arity must match the model");
+  schedule::LayerResult result;
+  result.schedule.layer = inputs_.layer;
+
+  const auto value = [&solution](lp::Col col) {
+    return solution[static_cast<std::size_t>(col)];
+  };
+  const auto chosen = [&](int i, int j) { return value(binding_var(i, j)) > 0.5; };
+
+  // Which non-fixed devices are actually used?
+  std::vector<DeviceId> realized(static_cast<std::size_t>(device_count()));
+  for (std::size_t f = 0; f < fixed_ids_.size(); ++f) {
+    realized[f] = fixed_ids_[f];
+  }
+  int slot = 0;
+  for (int j = 0; j < device_count(); ++j) {
+    const SlotKind kind = device_kind_[static_cast<std::size_t>(j)];
+    if (kind == SlotKind::Fixed) {
+      continue;
+    }
+    bool used = false;
+    for (std::size_t i = 0; i < inputs_.ops.size(); ++i) {
+      if (chosen(static_cast<int>(i), j)) {
+        used = true;
+        break;
+      }
+    }
+    if (kind == SlotKind::New) {
+      if (used) {
+        const NewSlotVars& vars = new_slot_vars_[static_cast<std::size_t>(slot)];
+        model::DeviceConfig config;
+        config.container = value(vars.ring) > 0.5 ? model::ContainerKind::Ring
+                                                  : model::ContainerKind::Chamber;
+        for (const model::Capacity cap : model::kAllCapacities) {
+          if (value(vars.capacity[static_cast<std::size_t>(cap)]) > 0.5) {
+            config.capacity = cap;
+          }
+        }
+        for (const auto& [acc, col] : vars.accessories) {
+          if (value(col) > 0.5) {
+            config.accessories.insert(acc);
+          }
+        }
+        realized[static_cast<std::size_t>(j)] = inventory.instantiate(config, inputs_.layer);
+      }
+      ++slot;
+    } else if (used) {  // hint
+      const std::size_t hint_index = static_cast<std::size_t>(j) - fixed_ids_.size();
+      realized[static_cast<std::size_t>(j)] =
+          inventory.instantiate(inputs_.hints[hint_index].config, inputs_.layer);
+      result.consumed_hints.push_back(inputs_.hints[hint_index].key);
+    }
+  }
+
+  for (std::size_t i = 0; i < inputs_.ops.size(); ++i) {
+    const OperationId id = inputs_.ops[i];
+    int device = -1;
+    for (int j = 0; j < device_count(); ++j) {
+      if (chosen(static_cast<int>(i), j)) {
+        device = j;
+        break;
+      }
+    }
+    COHLS_ASSERT(device >= 0, "decoded solution leaves an operation unbound");
+    const Minutes start{static_cast<std::int64_t>(
+        std::llround(value(start_var(static_cast<int>(i)))))};
+    result.schedule.items.push_back(
+        schedule::ScheduledOperation{id, realized[static_cast<std::size_t>(device)], start,
+                                     assay_.operation(id).duration(), Minutes{0}});
+  }
+
+  // Reporting: actual outgoing transport per item, given the final binding.
+  for (auto& item : result.schedule.items) {
+    Minutes actual{0};
+    for (const OperationId child : assay_.children(item.op)) {
+      const auto* child_item = result.schedule.find(child);
+      if (child_item != nullptr && child_item->device != item.device) {
+        actual = std::max(actual, transport_.edge_time(item.op, child));
+      }
+    }
+    item.transport = actual;
+  }
+  return result;
+}
+
+}  // namespace cohls::core

@@ -1,0 +1,132 @@
+#include "core/layer_synthesizer.hpp"
+
+#include <algorithm>
+
+#include "milp/branch_and_bound.hpp"
+
+namespace cohls::core {
+
+double layer_score(const schedule::LayerResult& result,
+                   const model::DeviceInventory& inventory,
+                   const schedule::LayerRequest& request, const model::Assay& assay,
+                   const model::CostModel& costs) {
+  double score =
+      costs.weight_time() * static_cast<double>(result.schedule.makespan().count());
+
+  // Integration cost of devices created by this layer, hints excluded
+  // (their cost is owned by the layer that integrates them in the global
+  // accounting — Fig. 6).
+  for (const model::Device& device : inventory.devices()) {
+    if (device.created_in != request.layer) {
+      continue;
+    }
+    bool from_hint = false;
+    for (const int key : result.consumed_hints) {
+      for (const auto& hint : request.hints) {
+        if (hint.key == key && hint.config == device.config) {
+          from_hint = true;
+          break;
+        }
+      }
+    }
+    if (from_hint) {
+      continue;
+    }
+    score += costs.weight_area() * model::device_area(device.config, costs) +
+             costs.weight_processing() *
+                 model::device_processing(device.config, costs, assay.registry());
+  }
+
+  // Newly created inter-device paths.
+  std::set<schedule::DevicePath> paths = request.existing_paths;
+  std::map<OperationId, DeviceId> binding = request.prior_binding;
+  for (const auto& item : result.schedule.items) {
+    binding[item.op] = item.device;
+  }
+  int new_paths = 0;
+  for (const auto& item : result.schedule.items) {
+    for (const OperationId parent : assay.operation(item.op).parents()) {
+      const auto it = binding.find(parent);
+      if (it == binding.end() || it->second == item.device) {
+        continue;
+      }
+      if (paths.insert(schedule::make_path(it->second, item.device)).second) {
+        ++new_paths;
+      }
+    }
+  }
+  score += costs.weight_paths() * new_paths;
+  return score;
+}
+
+namespace {
+
+bool ilp_applicable(const schedule::LayerRequest& request, const EngineOptions& engine) {
+  if (!engine.enable_ilp) {
+    return false;
+  }
+  if (static_cast<int>(request.ops.size()) > engine.ilp_max_ops) {
+    return false;
+  }
+  const int devices = static_cast<int>(request.usable_devices.size() +
+                                       request.hints.size()) +
+                      engine.ilp_new_slots;
+  if (devices > engine.ilp_max_devices) {
+    return false;
+  }
+  // The ILP expresses the component-oriented binding rule (6)-(8); custom
+  // binding predicates (the conventional baseline) have no ILP form here.
+  return !request.binds && !request.new_config;
+}
+
+}  // namespace
+
+LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
+                              const model::Assay& assay,
+                              const schedule::TransportPlan& transport,
+                              const model::CostModel& costs, const EngineOptions& engine,
+                              const model::DeviceInventory& inventory) {
+  // Heuristic candidate.
+  LayerOutcome heuristic;
+  heuristic.inventory = inventory;
+  heuristic.result = schedule_layer(request, assay, transport, costs, heuristic.inventory);
+  heuristic.score = layer_score(heuristic.result, heuristic.inventory, request, assay, costs);
+
+  if (!ilp_applicable(request, engine)) {
+    return heuristic;
+  }
+
+  // Exact candidate.
+  IlpLayerInputs inputs;
+  inputs.layer = request.layer;
+  inputs.ops = request.ops;
+  for (const DeviceId id : request.usable_devices) {
+    inputs.fixed_devices.emplace_back(id, inventory.device(id).config);
+  }
+  inputs.hints = request.hints;
+  inputs.new_slots =
+      request.allow_new_devices
+          ? std::min(engine.ilp_new_slots, inventory.max_devices() - inventory.size())
+          : 0;
+  inputs.prior_binding = request.prior_binding;
+  inputs.existing_paths = request.existing_paths;
+
+  try {
+    const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
+    const auto solution = milp::solve_milp(ilp.model(), engine.milp);
+    if (solution.status != milp::MilpStatus::Optimal &&
+        solution.status != milp::MilpStatus::Feasible) {
+      return heuristic;
+    }
+    LayerOutcome exact;
+    exact.inventory = inventory;
+    exact.result = ilp.decode(solution.values, exact.inventory);
+    exact.used_ilp = true;
+    exact.score = layer_score(exact.result, exact.inventory, request, assay, costs);
+    return exact.score < heuristic.score - 1e-9 ? exact : heuristic;
+  } catch (const InfeasibleError&) {
+    return heuristic;  // e.g. inventory exhausted while decoding
+  }
+}
+
+}  // namespace cohls::core

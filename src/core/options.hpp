@@ -1,0 +1,71 @@
+// User-facing knobs of the synthesis flow, mirroring the paper's
+// experimental setup: |D| (max devices), the layer threshold `t`, the
+// transportation constant and progression, the cost model, and the engine
+// configuration (exact MILP for small layers, heuristic beyond).
+#pragma once
+
+#include "core/layering.hpp"
+#include "layout/placement.hpp"
+#include "layout/transport_from_layout.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "model/cost_model.hpp"
+#include "schedule/transport_plan.hpp"
+
+namespace cohls::core {
+
+/// How per-edge transport times are refined between re-synthesis
+/// iterations (Sec. 4.1). `Progression` is the paper's method: path-usage
+/// ranks map onto a user-defined arithmetic progression. `Layout`
+/// additionally sketches a grid placement of the devices (usage-weighted
+/// annealing) and derives times from the placed Manhattan channel lengths.
+enum class TransportRefinement {
+  Progression,
+  Layout,
+};
+
+/// Engine selection per layer. The paper solves every layer with Gurobi;
+/// our in-tree branch-and-bound is exact but slower, so layers above the
+/// size thresholds fall back to the list-scheduling heuristic. Whenever the
+/// MILP produces a solution, the better-scoring of the two is kept.
+struct EngineOptions {
+  bool enable_ilp = true;
+  /// Exact MILP only for layers with at most this many operations...
+  int ilp_max_ops = 7;
+  /// ...and at most this many devices visible to the layer model
+  /// (inherited + new slots).
+  int ilp_max_devices = 6;
+  /// New (freely configurable) device slots offered to the layer model.
+  int ilp_new_slots = 3;
+  /// Budget per layer solve. The MILP runs once per layer per re-synthesis
+  /// iteration with the heuristic result as a safety net, so the default
+  /// budget is deliberately small; raise it to chase exactness.
+  milp::MilpOptions milp{.max_nodes = 20000, .time_limit_seconds = 2.0};
+};
+
+struct SynthesisOptions {
+  /// |D|: maximal number of devices integrated on the chip.
+  int max_devices = 25;
+  LayeringOptions layering{};
+  /// The constant `t` assigned to every transfer in the first pass. The
+  /// first estimate is deliberately conservative (the progression's upper
+  /// end plus margin); re-synthesis refines it downward per path.
+  Minutes initial_transport{5};
+  /// The user-defined arithmetic progression of refined transport times.
+  schedule::TransportProgression progression{};
+  /// Refinement method and, for Layout, its placement / distance knobs.
+  TransportRefinement transport_refinement = TransportRefinement::Progression;
+  layout::PlacementOptions placement{};
+  layout::LayoutTransportOptions layout_transport{};
+  model::CostModel costs{};
+  EngineOptions engine{};
+  /// Re-synthesis repeats while relative improvement exceeds this (the
+  /// paper iterates on > 10%).
+  double resynthesis_improvement_threshold = 0.10;
+  /// Hard cap on re-synthesis iterations.
+  int max_resynthesis_iterations = 6;
+  /// Multi-start: run the whole flow this many times with different
+  /// layering tie-break seeds and keep the best result. 1 = single run.
+  int restarts = 1;
+};
+
+}  // namespace cohls::core

@@ -1,0 +1,108 @@
+#include "core/progressive_resynthesis.hpp"
+
+#include <algorithm>
+
+#include "core/transport_estimator.hpp"
+
+namespace cohls::core {
+
+namespace {
+
+IterationRecord record_of(const schedule::SynthesisResult& result,
+                          const model::Assay& assay, const model::CostModel& costs) {
+  IterationRecord record;
+  record.execution_time = result.total_time(assay);
+  record.device_count = result.used_device_count();
+  record.path_count = result.path_count(assay);
+  record.objective = schedule::evaluate_objective(result, assay, costs);
+  return record;
+}
+
+std::vector<KnownDevice> known_devices_of(const schedule::SynthesisResult& result) {
+  std::vector<KnownDevice> known;
+  for (const model::Device& device : result.devices.devices()) {
+    known.push_back(KnownDevice{device.config,
+                                device.created_in.valid() ? device.created_in.value() : 0});
+  }
+  return known;
+}
+
+}  // namespace
+
+namespace {
+
+SynthesisReport synthesize_single(const model::Assay& assay,
+                                  const SynthesisOptions& options,
+                                  const PassPolicy& policy) {
+  SynthesisReport report;
+  report.plan = layer_assay(assay, options.layering);
+
+  schedule::TransportPlan transport(options.initial_transport);
+  schedule::SynthesisResult current =
+      run_pass(assay, report.plan, transport, options, {}, policy);
+  report.iterations.push_back(record_of(current, assay, options.costs));
+
+  report.result = current;
+  report.transport = transport;
+  double best_objective = report.iterations.back().objective.weighted_total;
+
+  for (int iteration = 1; iteration <= options.max_resynthesis_iterations; ++iteration) {
+    const schedule::TransportPlan refined =
+        options.transport_refinement == TransportRefinement::Layout
+            ? layout::transport_from_layout(
+                  layout::place_devices(current, assay, options.placement), current,
+                  assay, options.layout_transport)
+            : refine_transport(current, assay, options.progression,
+                               options.initial_transport);
+    const std::vector<KnownDevice> known = known_devices_of(current);
+    schedule::SynthesisResult next =
+        run_pass(assay, report.plan, refined, options, known, policy);
+    const IterationRecord record = record_of(next, assay, options.costs);
+    report.iterations.push_back(record);
+
+    const double previous = report.iterations[report.iterations.size() - 2]
+                                .objective.weighted_total;
+    const double improvement =
+        previous > 0.0 ? (previous - record.objective.weighted_total) / previous : 0.0;
+
+    if (record.objective.weighted_total < best_objective - 1e-9) {
+      best_objective = record.objective.weighted_total;
+      report.result = next;
+      report.transport = refined;
+    }
+    current = std::move(next);
+    transport = refined;
+
+    if (improvement <= options.resynthesis_improvement_threshold) {
+      break;  // "no further significant improvement"
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+SynthesisReport synthesize(const model::Assay& assay, const SynthesisOptions& options,
+                           const PassPolicy& policy) {
+  COHLS_EXPECT(options.restarts >= 1, "need at least one synthesis run");
+  SynthesisReport best = synthesize_single(assay, options, policy);
+  double best_objective =
+      schedule::evaluate_objective(best.result, assay, options.costs).weighted_total;
+  for (int restart = 1; restart < options.restarts; ++restart) {
+    SynthesisOptions varied = options;
+    // Different tie-break seeds reshuffle the layering's random choice of
+    // eligible indeterminate operations (Algorithm 1 L13).
+    varied.layering.seed = options.layering.seed + static_cast<std::uint64_t>(restart);
+    SynthesisReport candidate = synthesize_single(assay, varied, policy);
+    const double objective =
+        schedule::evaluate_objective(candidate.result, assay, options.costs)
+            .weighted_total;
+    if (objective < best_objective - 1e-9) {
+      best_objective = objective;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace cohls::core

@@ -1,0 +1,73 @@
+#include "core/transport_estimator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace cohls::core {
+
+schedule::TransportPlan refine_transport(const schedule::SynthesisResult& result,
+                                         const model::Assay& assay,
+                                         const schedule::TransportProgression& progression,
+                                         Minutes fallback) {
+  schedule::TransportPlan plan(fallback);
+  const auto binding = result.binding();
+
+  // Count how many transfers use each inter-device path.
+  std::map<schedule::DevicePath, int> usage;
+  for (const model::Operation& op : assay.operations()) {
+    const auto parent_device = binding.find(op.id());
+    if (parent_device == binding.end()) {
+      continue;
+    }
+    for (const OperationId child : assay.children(op.id())) {
+      const auto child_device = binding.find(child);
+      if (child_device == binding.end()) {
+        continue;
+      }
+      if (parent_device->second != child_device->second) {
+        ++usage[schedule::make_path(parent_device->second, child_device->second)];
+      }
+    }
+  }
+
+  // Rank paths by usage (descending); the busiest paths get the shortest
+  // terms. Rank r of P paths maps to term floor(r * terms / P).
+  std::vector<std::pair<schedule::DevicePath, int>> ranked(usage.begin(), usage.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  std::map<schedule::DevicePath, Minutes> path_time;
+  const int path_count = static_cast<int>(ranked.size());
+  for (int r = 0; r < path_count; ++r) {
+    const int term_index = (r * progression.terms) / std::max(path_count, 1);
+    path_time[ranked[static_cast<std::size_t>(r)].first] = progression.term(term_index);
+  }
+
+  // Write per-edge times.
+  for (const model::Operation& op : assay.operations()) {
+    const auto parent_device = binding.find(op.id());
+    if (parent_device == binding.end()) {
+      continue;
+    }
+    for (const OperationId child : assay.children(op.id())) {
+      const auto child_device = binding.find(child);
+      if (child_device == binding.end()) {
+        continue;
+      }
+      if (parent_device->second == child_device->second) {
+        plan.set_edge_time(op.id(), child, Minutes{0});
+      } else {
+        plan.set_edge_time(
+            op.id(), child,
+            path_time.at(schedule::make_path(parent_device->second, child_device->second)));
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace cohls::core

@@ -1,0 +1,130 @@
+#include "graph/max_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace cohls::graph {
+
+FlowNetwork::FlowNetwork(std::size_t node_count)
+    : head_(node_count, 0), arcs_(node_count) {}
+
+std::size_t FlowNetwork::add_arc(std::size_t from, std::size_t to, std::int64_t capacity) {
+  COHLS_EXPECT(from < node_count() && to < node_count(), "arc endpoint out of range");
+  COHLS_EXPECT(capacity >= 0, "arc capacity must be non-negative");
+  COHLS_EXPECT(from != to, "self-loop arcs carry no flow");
+  const std::size_t slot = arcs_[from].size();
+  const std::size_t reverse_slot = arcs_[to].size();
+  arcs_[from].push_back(Arc{to, reverse_slot, capacity});
+  arcs_[to].push_back(Arc{from, slot, 0});
+  handles_.emplace_back(from, slot);
+  original_capacity_.push_back(capacity);
+  return handles_.size() - 1;
+}
+
+FlowNetwork::ArcInfo FlowNetwork::arc(std::size_t handle) const {
+  COHLS_EXPECT(handle < handles_.size(), "unknown arc handle");
+  const auto [node, slot] = handles_[handle];
+  const Arc& fwd = arcs_[node][slot];
+  const std::int64_t capacity = original_capacity_[handle];
+  return ArcInfo{node, fwd.to, capacity, capacity - fwd.capacity};
+}
+
+std::int64_t FlowNetwork::bfs_augment(std::size_t source, std::size_t sink) {
+  // parent[n] = (node, slot) of the arc that discovered n.
+  constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+  std::vector<std::pair<std::size_t, std::size_t>> parent(node_count(), {kUnset, kUnset});
+  parent[source] = {source, kUnset};
+  std::deque<std::size_t> queue{source};
+  while (!queue.empty() && parent[sink].first == kUnset) {
+    const std::size_t n = queue.front();
+    queue.pop_front();
+    for (std::size_t slot = 0; slot < arcs_[n].size(); ++slot) {
+      const Arc& a = arcs_[n][slot];
+      if (a.capacity > 0 && parent[a.to].first == kUnset) {
+        parent[a.to] = {n, slot};
+        queue.push_back(a.to);
+      }
+    }
+  }
+  if (parent[sink].first == kUnset) {
+    return 0;
+  }
+  // Find the bottleneck along the path, then push it.
+  std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t n = sink; n != source;) {
+    const auto [prev, slot] = parent[n];
+    bottleneck = std::min(bottleneck, arcs_[prev][slot].capacity);
+    n = prev;
+  }
+  for (std::size_t n = sink; n != source;) {
+    const auto [prev, slot] = parent[n];
+    Arc& fwd = arcs_[prev][slot];
+    fwd.capacity -= bottleneck;
+    arcs_[fwd.to][fwd.reverse].capacity += bottleneck;
+    n = prev;
+  }
+  return bottleneck;
+}
+
+FlowNetwork::CutResult FlowNetwork::min_cut(std::size_t source, std::size_t sink) {
+  COHLS_EXPECT(source < node_count() && sink < node_count(), "terminal out of range");
+  COHLS_EXPECT(source != sink, "source and sink must differ");
+
+  CutResult result;
+  while (true) {
+    const std::int64_t pushed = bfs_augment(source, sink);
+    if (pushed == 0) {
+      break;
+    }
+    result.value += pushed;
+  }
+
+  // Source side = nodes reachable in the residual graph.
+  result.source_side.assign(node_count(), false);
+  result.source_side[source] = true;
+  std::vector<std::size_t> stack{source};
+  while (!stack.empty()) {
+    const std::size_t n = stack.back();
+    stack.pop_back();
+    for (const Arc& a : arcs_[n]) {
+      if (a.capacity > 0 && !result.source_side[a.to]) {
+        result.source_side[a.to] = true;
+        stack.push_back(a.to);
+      }
+    }
+  }
+
+  // Sink side = nodes that reach the sink through positive-residual arcs
+  // (backward search over the residual graph).
+  result.sink_side.assign(node_count(), false);
+  result.sink_side[sink] = true;
+  stack.assign(1, sink);
+  while (!stack.empty()) {
+    const std::size_t n = stack.back();
+    stack.pop_back();
+    // An arc u->v with residual capacity appears as arcs_[u] entry; to walk
+    // backwards we scan every node's residual arcs into n via the reverse
+    // entries stored at n.
+    for (const Arc& rev : arcs_[n]) {
+      // rev is the arc n->rev.to; its reverse (rev.to->n) has residual
+      // capacity arcs_[rev.to][rev.reverse].capacity.
+      const Arc& fwd = arcs_[rev.to][rev.reverse];
+      if (fwd.capacity > 0 && !result.sink_side[rev.to]) {
+        result.sink_side[rev.to] = true;
+        stack.push_back(rev.to);
+      }
+    }
+  }
+
+  for (std::size_t handle = 0; handle < handles_.size(); ++handle) {
+    const ArcInfo info = arc(handle);
+    if (result.source_side[info.from] && !result.source_side[info.to] &&
+        info.capacity > 0) {
+      result.cut_arcs.push_back(handle);
+    }
+  }
+  return result;
+}
+
+}  // namespace cohls::graph

@@ -1,0 +1,69 @@
+// Maximum flow / minimum s-t cut. The paper's resource-based layer
+// allocation formulates the cost of evicting an indeterminate operation as a
+// minimum cut over its ancestor cone and "implement[s the] min-cut algorithm
+// based on the Ford-Fulkerson algorithm". We use the Edmonds–Karp
+// realisation of Ford–Fulkerson (BFS augmenting paths), which is exact and
+// polynomial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cohls::graph {
+
+/// A flow network with integer capacities. Nodes are indexed 0..n-1.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return head_.size(); }
+
+  /// Adds a directed arc with the given capacity; returns an arc handle that
+  /// can be used to query flow after solving. Capacity must be >= 0.
+  std::size_t add_arc(std::size_t from, std::size_t to, std::int64_t capacity);
+
+  /// Large capacity used to make an arc effectively uncuttable.
+  static constexpr std::int64_t kInfinite = INT64_C(1) << 50;
+
+  struct ArcInfo {
+    std::size_t from;
+    std::size_t to;
+    std::int64_t capacity;
+    std::int64_t flow;
+  };
+  [[nodiscard]] ArcInfo arc(std::size_t handle) const;
+
+  struct CutResult {
+    std::int64_t value = 0;             ///< max-flow == min-cut value
+    std::vector<bool> source_side;      ///< nodes residual-reachable from s
+    /// Nodes that still reach the sink in the residual graph. Its
+    /// complement is the *largest* source side among minimum cuts, i.e. the
+    /// cut with the fewest sink-side vertices — the layering algorithm's
+    /// tie-break ("c2 puts fewer vertices to the sink side than c1").
+    std::vector<bool> sink_side;
+    std::vector<std::size_t> cut_arcs;  ///< saturated crossing arcs (source-side cut)
+  };
+
+  /// Runs Edmonds–Karp from `source` to `sink`; returns the cut. Both
+  /// canonical minimum cuts are reported: `source_side` describes the cut
+  /// closest to the source, `sink_side` the cut closest to the sink.
+  CutResult min_cut(std::size_t source, std::size_t sink);
+
+ private:
+  struct Arc {
+    std::size_t to;
+    std::size_t reverse;   ///< index of the reverse arc in arcs_[to]
+    std::int64_t capacity; ///< residual capacity
+  };
+
+  std::int64_t bfs_augment(std::size_t source, std::size_t sink);
+
+  std::vector<std::size_t> head_;            // per-node first arc (unused marker)
+  std::vector<std::vector<Arc>> arcs_;       // adjacency of residual arcs
+  std::vector<std::pair<std::size_t, std::size_t>> handles_;  // (node, slot)
+  std::vector<std::int64_t> original_capacity_;
+};
+
+}  // namespace cohls::graph

@@ -1,0 +1,34 @@
+// A line-oriented text format for assays, so protocols can be described in
+// files rather than C++. Round-trips exactly:
+//
+//   assay "single-cell RT-qPCR"
+//   accessory "droplet sorter" cost=3.5           # custom kinds only
+//   operation 0 "capture" duration=8 container=ring capacity=medium \
+//       accessories={pump; cell trap} indeterminate
+//   operation 1 "lysis" duration=10 accessories={heating pad} parents=0
+//
+// Operation ids must be dense and ascending (parents-first, mirroring the
+// Assay builder contract). '#' starts a comment; blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "model/assay.hpp"
+
+namespace cohls::io {
+
+/// Thrown on malformed input, with the offending line number in the message.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes an assay to the text format (stable field order).
+[[nodiscard]] std::string to_text(const model::Assay& assay);
+
+/// Parses the text format into an assay.
+[[nodiscard]] model::Assay assay_from_text(const std::string& text);
+
+}  // namespace cohls::io

@@ -1,0 +1,114 @@
+#include "io/export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cohls::io {
+
+std::string to_gantt(const schedule::SynthesisResult& result, const model::Assay& assay,
+                     Minutes resolution) {
+  COHLS_EXPECT(resolution > Minutes{0}, "resolution must be positive");
+  std::ostringstream out;
+  int layer_number = 0;
+  for (const schedule::LayerSchedule& layer : result.layers) {
+    ++layer_number;
+    const Minutes makespan = layer.makespan();
+    const std::size_t columns =
+        static_cast<std::size_t>((makespan.count() + resolution.count() - 1) /
+                                 resolution.count());
+    out << "== layer " << layer_number << " (makespan " << makespan << ") ==\n";
+
+    std::set<DeviceId> devices;
+    for (const auto& item : layer.items) {
+      devices.insert(item.device);
+    }
+    char letter = 'A';
+    std::map<OperationId, char> letters;
+    for (const auto& item : layer.items) {
+      letters[item.op] = letter;
+      letter = letter == 'Z' ? 'a' : static_cast<char>(letter + 1);
+    }
+    for (const DeviceId device : devices) {
+      std::string row(columns, '.');
+      for (const auto& item : layer.items) {
+        if (item.device != device) {
+          continue;
+        }
+        const auto begin = static_cast<std::size_t>(item.start.count() /
+                                                    resolution.count());
+        const auto end = static_cast<std::size_t>(
+            (item.end().count() + resolution.count() - 1) / resolution.count());
+        for (std::size_t c = begin; c < end && c < columns; ++c) {
+          row[c] = letters.at(item.op);
+        }
+        if (assay.operation(item.op).indeterminate() && !row.empty()) {
+          row.back() = '~';
+        }
+      }
+      out << "device#" << device << " |" << row << "|\n";
+    }
+    for (const auto& item : layer.items) {
+      out << "  " << letters.at(item.op) << " = " << assay.operation(item.op).name()
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string to_csv(const schedule::SynthesisResult& result, const model::Assay& assay) {
+  std::ostringstream out;
+  out << "layer,operation,name,device,start,end,indeterminate\n";
+  int layer_number = 0;
+  for (const schedule::LayerSchedule& layer : result.layers) {
+    ++layer_number;
+    for (const auto& item : layer.items) {
+      const model::Operation& op = assay.operation(item.op);
+      std::string name = op.name();
+      std::replace(name.begin(), name.end(), ',', ';');
+      out << layer_number << ',' << item.op.value() << ',' << name << ','
+          << item.device.value() << ',' << item.start.count() << ','
+          << item.end().count() << ',' << (op.indeterminate() ? 1 : 0) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string to_dot(const schedule::SynthesisResult& result, const model::Assay& assay) {
+  std::ostringstream out;
+  out << "graph chip {\n  node [shape=box];\n";
+  std::set<DeviceId> used;
+  for (const auto& layer : result.layers) {
+    for (const auto& item : layer.items) {
+      used.insert(item.device);
+    }
+  }
+  for (const DeviceId device : used) {
+    const model::DeviceConfig& config = result.devices.device(device).config;
+    out << "  d" << device.value() << " [label=\"device#" << device.value() << "\\n"
+        << model::to_string(config.container) << '/' << model::to_string(config.capacity)
+        << "\\n" << model::to_string(config.accessories, assay.registry()) << "\"];\n";
+  }
+  // Count transfers per path.
+  std::map<schedule::DevicePath, int> transfers;
+  const auto binding = result.binding();
+  for (const auto& [op, device] : binding) {
+    for (const OperationId child : assay.children(op)) {
+      const auto it = binding.find(child);
+      if (it != binding.end() && it->second != device) {
+        ++transfers[schedule::make_path(device, it->second)];
+      }
+    }
+  }
+  for (const auto& [path, count] : transfers) {
+    out << "  d" << path.first.value() << " -- d" << path.second.value()
+        << " [label=\"" << count << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cohls::io

@@ -1,0 +1,33 @@
+// Result exporters: a Gantt-style text chart of the hybrid schedule, a CSV
+// dump for spreadsheets, and a Graphviz DOT view of the device/path network
+// (the "potential chip layout" the transportation estimator reasons about).
+#pragma once
+
+#include <string>
+
+#include "model/assay.hpp"
+#include "schedule/types.hpp"
+
+namespace cohls::io {
+
+/// Per-device timeline per layer, one character per `resolution` minutes:
+///
+///   == layer 1 (makespan 30m) ==
+///   device#0 |AAAAAAAAAA..BBBBB|
+///   device#1 |....CCCCCCCCCC...|
+///
+/// Operations are lettered in schedule order; indeterminate tails are
+/// marked with '~'.
+[[nodiscard]] std::string to_gantt(const schedule::SynthesisResult& result,
+                                   const model::Assay& assay, Minutes resolution = 1_min);
+
+/// "layer,operation,name,device,start,end,indeterminate" rows.
+[[nodiscard]] std::string to_csv(const schedule::SynthesisResult& result,
+                                 const model::Assay& assay);
+
+/// Graphviz DOT: devices as nodes (labelled with their configuration),
+/// transportation paths as edges weighted by transfer count.
+[[nodiscard]] std::string to_dot(const schedule::SynthesisResult& result,
+                                 const model::Assay& assay);
+
+}  // namespace cohls::io

@@ -1,0 +1,58 @@
+// LP presolve: cheap model reductions applied before the simplex. The
+// per-layer synthesis models contain many fixed binaries (forbidden
+// bindings pinned to zero, sealed configuration variables), empty rows and
+// singleton rows; eliminating them shrinks the dense tableau the simplex
+// pivots over.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace cohls::lp {
+
+/// Outcome of presolving a model.
+class Presolved {
+ public:
+  /// True when presolve alone proved the model infeasible.
+  [[nodiscard]] bool infeasible() const { return infeasible_; }
+
+  /// The reduced model (valid only when !infeasible()).
+  [[nodiscard]] const LpModel& model() const { return reduced_; }
+
+  /// Number of columns / rows eliminated.
+  [[nodiscard]] int removed_columns() const { return removed_columns_; }
+  [[nodiscard]] int removed_rows() const { return removed_rows_; }
+
+  /// Lifts a reduced-space solution back to the original variable space.
+  [[nodiscard]] std::vector<double> restore(const std::vector<double>& reduced) const;
+
+ private:
+  friend Presolved presolve(const LpModel& original);
+
+  LpModel reduced_;
+  bool infeasible_ = false;
+  int removed_columns_ = 0;
+  int removed_rows_ = 0;
+  /// Original value per original column: either a fixed constant, or the
+  /// index of the reduced column holding it.
+  struct ColumnOrigin {
+    bool fixed = false;
+    double value = 0.0;  // when fixed
+    int reduced_index = -1;
+  };
+  std::vector<ColumnOrigin> origins_;
+};
+
+/// Applies, to a fixpoint: removal of fixed columns (lb == ub, substituted
+/// into rows), empty rows (dropped or proven infeasible) and singleton rows
+/// (turned into bound tightenings, which may fix further columns).
+[[nodiscard]] Presolved presolve(const LpModel& original);
+
+/// Convenience: presolve + solve + restore. Statuses mirror solve_lp.
+[[nodiscard]] LpSolution solve_lp_with_presolve(const LpModel& model,
+                                                const SimplexOptions& options = {});
+
+}  // namespace cohls::lp

@@ -1,0 +1,40 @@
+// Two-phase primal simplex with native variable bounds (nonbasic variables
+// rest at either bound; bound flips avoid explicit bound rows). This is the
+// LP engine under the branch-and-bound MILP solver that substitutes for the
+// paper's Gurobi dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace cohls::lp {
+
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+};
+
+[[nodiscard]] std::string to_string(LpStatus status);
+
+struct LpSolution {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;  ///< one value per model variable when solved
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases; 0 means "derived from size".
+  int max_iterations = 0;
+  /// Feasibility / pricing tolerance.
+  double tolerance = 1e-7;
+};
+
+/// Solves `model` (a minimization) with the bounded-variable simplex.
+[[nodiscard]] LpSolution solve_lp(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace cohls::lp

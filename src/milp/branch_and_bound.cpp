@@ -1,0 +1,252 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace cohls::milp {
+
+std::string to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::Optimal: return "Optimal";
+    case MilpStatus::Feasible: return "Feasible";
+    case MilpStatus::Infeasible: return "Infeasible";
+    case MilpStatus::NoSolution: return "NoSolution";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Node {
+  // Per-variable bound overrides accumulated along the branch path.
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parent_bound;  // LP bound of the parent, for pruning before solving
+};
+
+class Solver {
+ public:
+  Solver(const MilpModel& model, const MilpOptions& options)
+      : model_(model), options_(options), deadline_set_(options.time_limit_seconds > 0) {
+    if (deadline_set_) {
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(options.time_limit_seconds));
+    }
+  }
+
+  MilpSolution run() {
+    MilpSolution out;
+    if (options_.warm_start.has_value()) {
+      COHLS_EXPECT(static_cast<int>(options_.warm_start->size()) == model_.variable_count(),
+                   "warm start arity must match the model");
+      if (model_.is_feasible(*options_.warm_start, options_.integrality_tolerance)) {
+        incumbent_ = *options_.warm_start;
+        incumbent_value_ = model_.lp().objective_value(incumbent_);
+      }
+    }
+
+    Node root;
+    root.lower.resize(static_cast<std::size_t>(model_.variable_count()));
+    root.upper.resize(static_cast<std::size_t>(model_.variable_count()));
+    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+      root.lower[static_cast<std::size_t>(c)] = model_.lp().lower_bound(c);
+      root.upper[static_cast<std::size_t>(c)] = model_.lp().upper_bound(c);
+    }
+    root.parent_bound = -MilpSolution::kBigBound;
+
+    std::vector<Node> stack;
+    stack.push_back(std::move(root));
+    double global_bound = -MilpSolution::kBigBound;
+    bool exhausted = true;
+    bool root_infeasible_proven = false;
+    bool any_lp_solved = false;
+
+    while (!stack.empty()) {
+      if (limit_reached()) {
+        exhausted = false;
+        break;
+      }
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      if (has_incumbent() &&
+          node.parent_bound >= incumbent_value_ - options_.absolute_gap) {
+        continue;  // cannot improve on the incumbent
+      }
+
+      ++nodes_;
+      const lp::LpSolution relax = solve_relaxation(node);
+      if (relax.status == lp::LpStatus::Infeasible) {
+        if (nodes_ == 1) {
+          root_infeasible_proven = true;
+        }
+        continue;
+      }
+      if (relax.status == lp::LpStatus::Unbounded) {
+        // An unbounded relaxation of a bounded-variable MILP means free
+        // continuous directions; report the best we have.
+        exhausted = false;
+        continue;
+      }
+      if (relax.status != lp::LpStatus::Optimal) {
+        exhausted = false;  // iteration limit: bound unknown, cannot prune
+        continue;
+      }
+      any_lp_solved = true;
+      const double bound = relax.objective;
+      if (nodes_ == 1) {
+        global_bound = bound;
+      }
+      if (has_incumbent() && bound >= incumbent_value_ - options_.absolute_gap) {
+        continue;
+      }
+
+      const int branch_col = most_fractional(relax.values);
+      if (branch_col < 0) {
+        // Integral: new incumbent.
+        offer_incumbent(relax.values);
+        continue;
+      }
+      if (options_.enable_rounding_heuristic) {
+        try_rounding(relax.values);
+      }
+
+      const double value = relax.values[static_cast<std::size_t>(branch_col)];
+      const double floor_value = std::floor(value);
+      Node down = node;
+      down.upper[static_cast<std::size_t>(branch_col)] =
+          std::min(down.upper[static_cast<std::size_t>(branch_col)], floor_value);
+      down.parent_bound = bound;
+      Node up = std::move(node);
+      up.lower[static_cast<std::size_t>(branch_col)] =
+          std::max(up.lower[static_cast<std::size_t>(branch_col)], floor_value + 1.0);
+      up.parent_bound = bound;
+      // Depth-first; explore the child nearer the fractional value first
+      // (push it last so it pops first).
+      if (value - floor_value > 0.5) {
+        stack.push_back(std::move(down));
+        stack.push_back(std::move(up));
+      } else {
+        stack.push_back(std::move(up));
+        stack.push_back(std::move(down));
+      }
+    }
+
+    out.nodes = nodes_;
+    out.best_bound = exhausted && has_incumbent() ? incumbent_value_ : global_bound;
+    if (has_incumbent()) {
+      out.values = incumbent_;
+      out.objective = incumbent_value_;
+      out.status = exhausted ? MilpStatus::Optimal : MilpStatus::Feasible;
+    } else if (exhausted && (any_lp_solved || root_infeasible_proven || nodes_ > 0)) {
+      out.status = MilpStatus::Infeasible;
+    } else {
+      out.status = MilpStatus::NoSolution;
+    }
+    return out;
+  }
+
+ private:
+  bool limit_reached() const {
+    if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
+      return true;
+    }
+    return deadline_set_ && Clock::now() >= deadline_;
+  }
+
+  bool has_incumbent() const { return !incumbent_.empty(); }
+
+  lp::LpSolution solve_relaxation(const Node& node) {
+    // Apply the node's bounds onto the shared scratch LP (rows and
+    // objective never change between nodes, only bounds do).
+    if (scratch_.variable_count() == 0 && model_.variable_count() > 0) {
+      scratch_ = model_.lp();
+    }
+    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+      const double lo = node.lower[static_cast<std::size_t>(c)];
+      const double hi = node.upper[static_cast<std::size_t>(c)];
+      if (lo > hi) {
+        lp::LpSolution infeasible;
+        infeasible.status = lp::LpStatus::Infeasible;
+        return infeasible;
+      }
+      scratch_.set_bounds(c, lo, hi);
+    }
+    return lp::solve_lp(scratch_, simplex_options_);
+  }
+
+  int most_fractional(const std::vector<double>& x) const {
+    int best = -1;
+    double best_score = options_.integrality_tolerance;
+    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+      if (!model_.is_integer(c)) {
+        continue;
+      }
+      const double v = x[static_cast<std::size_t>(c)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > best_score) {
+        best_score = frac;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  void offer_incumbent(const std::vector<double>& x) {
+    std::vector<double> snapped = x;
+    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+      if (model_.is_integer(c)) {
+        snapped[static_cast<std::size_t>(c)] =
+            std::round(snapped[static_cast<std::size_t>(c)]);
+      }
+    }
+    const double value = model_.lp().objective_value(snapped);
+    if (!has_incumbent() || value < incumbent_value_ - 1e-12) {
+      if (model_.is_feasible(snapped, 1e-5)) {
+        incumbent_ = std::move(snapped);
+        incumbent_value_ = value;
+      }
+    }
+  }
+
+  void try_rounding(const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+      if (model_.is_integer(c)) {
+        rounded[static_cast<std::size_t>(c)] =
+            std::round(rounded[static_cast<std::size_t>(c)]);
+      }
+    }
+    const double value = model_.lp().objective_value(rounded);
+    if ((!has_incumbent() || value < incumbent_value_ - 1e-12) &&
+        model_.is_feasible(rounded, options_.integrality_tolerance)) {
+      incumbent_ = std::move(rounded);
+      incumbent_value_ = value;
+    }
+  }
+
+  const MilpModel& model_;
+  const MilpOptions& options_;
+  lp::LpModel scratch_;
+  lp::SimplexOptions simplex_options_{};
+  bool deadline_set_;
+  Clock::time_point deadline_{};
+  long nodes_ = 0;
+  std::vector<double> incumbent_;
+  double incumbent_value_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+MilpSolution solve_milp(const MilpModel& model, const MilpOptions& options) {
+  Solver solver(model, options);
+  return solver.run();
+}
+
+}  // namespace cohls::milp

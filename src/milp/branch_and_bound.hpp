@@ -1,0 +1,52 @@
+// Exact branch-and-bound MILP solver over the bounded simplex. Substitutes
+// for the paper's Gurobi dependency: exact on the small per-layer models,
+// with node / time limits so the synthesizer can fall back to its heuristic
+// when a layer is too large.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace cohls::milp {
+
+enum class MilpStatus {
+  Optimal,     ///< proven optimal incumbent
+  Feasible,    ///< an incumbent exists but the search hit a limit
+  Infeasible,  ///< no integral solution exists
+  NoSolution,  ///< search hit a limit before finding any incumbent
+};
+
+[[nodiscard]] std::string to_string(MilpStatus status);
+
+struct MilpOptions {
+  /// Maximum branch-and-bound nodes (LP solves); <= 0 means unlimited.
+  long max_nodes = 200000;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.
+  double time_limit_seconds = 30.0;
+  /// Integrality tolerance.
+  double integrality_tolerance = 1e-6;
+  /// Stop when incumbent is within this absolute gap of the best bound.
+  double absolute_gap = 1e-6;
+  /// Optional known-feasible point used as the initial incumbent.
+  std::optional<std::vector<double>> warm_start;
+  /// Try rounding fractional LP relaxations into incumbents.
+  bool enable_rounding_heuristic = true;
+};
+
+struct MilpSolution {
+  MilpStatus status = MilpStatus::NoSolution;
+  double objective = 0.0;
+  std::vector<double> values;  ///< incumbent when status is Optimal/Feasible
+  double best_bound = -kBigBound;
+  long nodes = 0;
+
+  static constexpr double kBigBound = 1e100;
+};
+
+/// Solves `model` (a minimization) exactly, up to the configured limits.
+[[nodiscard]] MilpSolution solve_milp(const MilpModel& model, const MilpOptions& options = {});
+
+}  // namespace cohls::milp

@@ -1,0 +1,55 @@
+// Mixed-integer model: an LpModel plus integrality marks. The per-layer
+// synthesis model of the paper (Sec. 4) instantiates this with binary
+// device-configuration / binding / disjunction variables and integer start
+// times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace cohls::milp {
+
+enum class VarKind {
+  Continuous,
+  Integer,
+  Binary,  ///< integer in [0, 1]
+};
+
+/// A minimization MILP. Wraps LpModel and records which columns must take
+/// integral values.
+class MilpModel {
+ public:
+  lp::Col add_variable(VarKind kind, double lower, double upper, double objective,
+                       std::string name = {});
+
+  /// Convenience: a {0,1} variable.
+  lp::Col add_binary(double objective, std::string name = {}) {
+    return add_variable(VarKind::Binary, 0.0, 1.0, objective, std::move(name));
+  }
+
+  lp::Row add_constraint(std::vector<lp::Term> terms, lp::RowSense sense, double rhs,
+                         std::string name = {}) {
+    return lp_.add_constraint(std::move(terms), sense, rhs, std::move(name));
+  }
+
+  [[nodiscard]] const lp::LpModel& lp() const { return lp_; }
+  [[nodiscard]] lp::LpModel& lp() { return lp_; }
+
+  [[nodiscard]] bool is_integer(lp::Col c) const {
+    return kinds_[static_cast<std::size_t>(c)] != VarKind::Continuous;
+  }
+  [[nodiscard]] VarKind kind(lp::Col c) const { return kinds_[static_cast<std::size_t>(c)]; }
+  [[nodiscard]] int variable_count() const { return lp_.variable_count(); }
+  [[nodiscard]] int constraint_count() const { return lp_.constraint_count(); }
+
+  /// True when `x` is row/bound feasible and integral on integer columns.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x, double tolerance = 1e-6) const;
+
+ private:
+  lp::LpModel lp_;
+  std::vector<VarKind> kinds_;
+};
+
+}  // namespace cohls::milp

@@ -1,0 +1,57 @@
+#include "model/assay.hpp"
+
+namespace cohls::model {
+
+Assay::Assay(std::string name, AccessoryRegistry registry)
+    : name_(std::move(name)), registry_(std::move(registry)) {
+  COHLS_EXPECT(!name_.empty(), "assay name must be non-empty");
+}
+
+OperationId Assay::add_operation(OperationSpec spec) {
+  const OperationId id{operation_count()};
+  for (const OperationId parent : spec.parents) {
+    COHLS_EXPECT(parent.valid() && parent.value() < id.value(),
+                 "parent operations must be added before their children");
+  }
+  for (const AccessoryId acc : spec.accessories.to_list()) {
+    COHLS_EXPECT(acc < registry_.count(),
+                 "operation requires an accessory kind that is not registered");
+  }
+  operations_.emplace_back(id, spec);
+  const auto node = graph_.add_node();
+  COHLS_ASSERT(node == id.index(), "graph nodes must mirror operation ids");
+  for (const OperationId parent : spec.parents) {
+    graph_.add_edge(parent.index(), id.index());
+  }
+  return id;
+}
+
+const Operation& Assay::operation(OperationId id) const {
+  COHLS_EXPECT(id.valid() && id.value() < operation_count(), "unknown operation id");
+  return operations_[id.index()];
+}
+
+std::vector<OperationId> Assay::children(OperationId id) const {
+  COHLS_EXPECT(id.valid() && id.value() < operation_count(), "unknown operation id");
+  std::vector<OperationId> out;
+  for (const auto node : graph_.successors(id.index())) {
+    out.push_back(OperationId{static_cast<std::int32_t>(node)});
+  }
+  return out;
+}
+
+std::vector<OperationId> Assay::indeterminate_operations() const {
+  std::vector<OperationId> out;
+  for (const Operation& op : operations_) {
+    if (op.indeterminate()) {
+      out.push_back(op.id());
+    }
+  }
+  return out;
+}
+
+int Assay::indeterminate_count() const {
+  return static_cast<int>(indeterminate_operations().size());
+}
+
+}  // namespace cohls::model

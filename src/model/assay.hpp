@@ -1,0 +1,47 @@
+// An assay is the unit of synthesis: a DAG of component-oriented
+// operations, together with the accessory registry its accessory ids refer
+// to. Parents must exist before their children are added, which makes the
+// dependency graph acyclic by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "model/operation.hpp"
+
+namespace cohls::model {
+
+class Assay {
+ public:
+  explicit Assay(std::string name, AccessoryRegistry registry = AccessoryRegistry{});
+
+  /// Adds an operation; every parent in the spec must already be in the
+  /// assay. Returns the new operation's id.
+  OperationId add_operation(OperationSpec spec);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const AccessoryRegistry& registry() const { return registry_; }
+  [[nodiscard]] AccessoryRegistry& registry() { return registry_; }
+
+  [[nodiscard]] int operation_count() const { return static_cast<int>(operations_.size()); }
+  [[nodiscard]] const Operation& operation(OperationId id) const;
+  [[nodiscard]] const std::vector<Operation>& operations() const { return operations_; }
+
+  /// Children of `id`: operations that consume its outputs.
+  [[nodiscard]] std::vector<OperationId> children(OperationId id) const;
+
+  /// The dependency digraph: node i == operation id i, edges parent->child.
+  [[nodiscard]] const graph::Digraph& dependency_graph() const { return graph_; }
+
+  [[nodiscard]] std::vector<OperationId> indeterminate_operations() const;
+  [[nodiscard]] int indeterminate_count() const;
+
+ private:
+  std::string name_;
+  AccessoryRegistry registry_;
+  std::vector<Operation> operations_;
+  graph::Digraph graph_;
+};
+
+}  // namespace cohls::model

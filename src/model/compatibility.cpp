@@ -1,0 +1,79 @@
+#include "model/compatibility.hpp"
+
+#include <limits>
+
+namespace cohls::model {
+
+bool is_compatible(const Operation& op, const DeviceConfig& config) {
+  if (!config.valid()) {
+    return false;
+  }
+  if (op.container().has_value() && *op.container() != config.container) {
+    return false;  // constraint (6)
+  }
+  if (op.capacity().has_value() && *op.capacity() != config.capacity) {
+    return false;  // constraint (8)
+  }
+  return op.accessories().is_subset_of(config.accessories);  // constraint (7)
+}
+
+bool requirements_subsume(const Operation& outer, const Operation& inner) {
+  if (inner.container().has_value() &&
+      (!outer.container().has_value() || *outer.container() != *inner.container())) {
+    return false;
+  }
+  if (inner.capacity().has_value() &&
+      (!outer.capacity().has_value() || *outer.capacity() != *inner.capacity())) {
+    return false;
+  }
+  return inner.accessories().is_subset_of(outer.accessories());
+}
+
+std::vector<DeviceConfig> admissible_configs(const Operation& op) {
+  std::vector<DeviceConfig> configs;
+  for (const ContainerKind kind : {ContainerKind::Ring, ContainerKind::Chamber}) {
+    if (op.container().has_value() && *op.container() != kind) {
+      continue;
+    }
+    for (const Capacity cap : kAllCapacities) {
+      if (!capacity_allowed(kind, cap)) {
+        continue;
+      }
+      if (op.capacity().has_value() && *op.capacity() != cap) {
+        continue;
+      }
+      configs.push_back(DeviceConfig{kind, cap, op.accessories()});
+    }
+  }
+  return configs;
+}
+
+DeviceConfig minimal_config(const Operation& op, const CostModel& costs,
+                            const AccessoryRegistry& registry) {
+  const auto configs = admissible_configs(op);
+  if (configs.empty()) {
+    throw InfeasibleError("no device configuration can execute operation '" + op.name() +
+                          "'");
+  }
+  const DeviceConfig* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const DeviceConfig& config : configs) {
+    const double cost = costs.weight_area() * device_area(config, costs) +
+                        costs.weight_processing() * device_processing(config, costs, registry);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &config;
+    }
+  }
+  return *best;
+}
+
+OperationSignature signature_of(const Operation& op) {
+  OperationSignature sig;
+  sig.container = op.container().has_value() ? static_cast<int>(*op.container()) : -1;
+  sig.capacity = op.capacity().has_value() ? static_cast<int>(*op.capacity()) : -1;
+  sig.accessories = op.accessories();
+  return sig;
+}
+
+}  // namespace cohls::model

@@ -1,0 +1,123 @@
+#include "model/components.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace cohls::model {
+
+std::string_view to_string(ContainerKind kind) {
+  switch (kind) {
+    case ContainerKind::Ring: return "ring";
+    case ContainerKind::Chamber: return "chamber";
+  }
+  return "?";
+}
+
+std::string_view to_string(Capacity capacity) {
+  switch (capacity) {
+    case Capacity::Tiny: return "tiny";
+    case Capacity::Small: return "small";
+    case Capacity::Medium: return "medium";
+    case Capacity::Large: return "large";
+  }
+  return "?";
+}
+
+bool capacity_allowed(ContainerKind kind, Capacity capacity) {
+  switch (kind) {
+    case ContainerKind::Ring:
+      return capacity != Capacity::Tiny;
+    case ContainerKind::Chamber:
+      return capacity != Capacity::Large;
+  }
+  return false;
+}
+
+AccessoryRegistry::AccessoryRegistry() {
+  // Built-in processing costs; see CostModel for the rationale of the
+  // relative magnitudes.
+  names_ = {"pump", "heating pad", "optical system", "sieve valve", "cell trap"};
+  costs_ = {3.0, 2.5, 4.0, 1.5, 1.0};
+}
+
+AccessoryId AccessoryRegistry::register_accessory(std::string name, double processing_cost) {
+  COHLS_EXPECT(!name.empty(), "accessory name must be non-empty");
+  COHLS_EXPECT(find(name) < 0, "accessory name already registered");
+  COHLS_EXPECT(processing_cost >= 0.0, "processing cost must be non-negative");
+  COHLS_EXPECT(count() < kMaxAccessories, "accessory registry is full");
+  names_.push_back(std::move(name));
+  costs_.push_back(processing_cost);
+  return count() - 1;
+}
+
+const std::string& AccessoryRegistry::name(AccessoryId id) const {
+  COHLS_EXPECT(id >= 0 && id < count(), "unknown accessory id");
+  return names_[static_cast<std::size_t>(id)];
+}
+
+double AccessoryRegistry::processing_cost(AccessoryId id) const {
+  COHLS_EXPECT(id >= 0 && id < count(), "unknown accessory id");
+  return costs_[static_cast<std::size_t>(id)];
+}
+
+AccessoryId AccessoryRegistry::find(std::string_view name) const {
+  for (AccessoryId id = 0; id < count(); ++id) {
+    if (names_[static_cast<std::size_t>(id)] == name) {
+      return id;
+    }
+  }
+  return -1;
+}
+
+AccessorySet::AccessorySet(std::initializer_list<AccessoryId> ids) {
+  for (const AccessoryId id : ids) {
+    insert(id);
+  }
+}
+
+void AccessorySet::insert(AccessoryId id) {
+  COHLS_EXPECT(id >= 0 && id < AccessoryRegistry::kMaxAccessories,
+               "accessory id out of range");
+  bits_ |= (std::uint32_t{1} << id);
+}
+
+void AccessorySet::erase(AccessoryId id) {
+  COHLS_EXPECT(id >= 0 && id < AccessoryRegistry::kMaxAccessories,
+               "accessory id out of range");
+  bits_ &= ~(std::uint32_t{1} << id);
+}
+
+bool AccessorySet::contains(AccessoryId id) const {
+  COHLS_EXPECT(id >= 0 && id < AccessoryRegistry::kMaxAccessories,
+               "accessory id out of range");
+  return (bits_ & (std::uint32_t{1} << id)) != 0;
+}
+
+int AccessorySet::count() const { return std::popcount(bits_); }
+
+std::vector<AccessoryId> AccessorySet::to_list() const {
+  std::vector<AccessoryId> ids;
+  for (AccessoryId id = 0; id < AccessoryRegistry::kMaxAccessories; ++id) {
+    if (contains(id)) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+std::string to_string(AccessorySet set, const AccessoryRegistry& registry) {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const AccessoryId id : set.to_list()) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << (id < registry.count() ? registry.name(id) : "?");
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace cohls::model

@@ -1,0 +1,123 @@
+// The component-oriented vocabulary of Sec. 2: containers (chamber, ring)
+// with four capacities, and accessories (pump, heating pad, optical system,
+// sieve valve, cell trap). Accessory kinds are an open set — the paper's
+// central claim is that the concept "can easily be extended and thus adapted
+// to continuous biological innovations" — so beyond the five built-ins,
+// users may register further kinds in an AccessoryRegistry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cohls::model {
+
+/// Container kind: a chamber is a valve-delimited flow-channel segment; a
+/// ring is a chamber closed end-to-end (enables circulation mixing).
+enum class ContainerKind : std::uint8_t {
+  Ring,
+  Chamber,
+};
+
+[[nodiscard]] std::string_view to_string(ContainerKind kind);
+
+/// Container capacity classes, ordered by volume.
+enum class Capacity : std::uint8_t {
+  Tiny,
+  Small,
+  Medium,
+  Large,
+};
+
+constexpr std::array<Capacity, 4> kAllCapacities{Capacity::Tiny, Capacity::Small,
+                                                 Capacity::Medium, Capacity::Large};
+
+[[nodiscard]] std::string_view to_string(Capacity capacity);
+
+/// Constraint (3): a ring's capacity varies among large, medium and small.
+/// Constraint (4): a chamber's capacity varies among medium, small and tiny.
+[[nodiscard]] bool capacity_allowed(ContainerKind kind, Capacity capacity);
+
+/// Index of a registered accessory kind within an AccessoryRegistry.
+using AccessoryId = int;
+
+/// The five accessory kinds reviewed in Sec. 2.1.2, pre-registered in every
+/// AccessoryRegistry with these fixed ids.
+struct BuiltinAccessory {
+  static constexpr AccessoryId kPump = 0;
+  static constexpr AccessoryId kHeatingPad = 1;
+  static constexpr AccessoryId kOpticalSystem = 2;
+  static constexpr AccessoryId kSieveValve = 3;
+  static constexpr AccessoryId kCellTrap = 4;
+  static constexpr int kCount = 5;
+};
+
+/// Open registry of accessory kinds: name + chip processing cost (the `Pr_z`
+/// constants of constraint (19)). The five built-ins are always present.
+class AccessoryRegistry {
+ public:
+  /// Creates a registry holding exactly the built-in accessories, with the
+  /// default processing costs of the bundled CostModel.
+  AccessoryRegistry();
+
+  /// Registers a new accessory kind (e.g. a droplet sorter) and returns its
+  /// id. Names must be unique and non-empty.
+  AccessoryId register_accessory(std::string name, double processing_cost);
+
+  [[nodiscard]] int count() const { return static_cast<int>(names_.size()); }
+  [[nodiscard]] const std::string& name(AccessoryId id) const;
+  [[nodiscard]] double processing_cost(AccessoryId id) const;
+
+  /// Looks a kind up by name; returns -1 when unknown.
+  [[nodiscard]] AccessoryId find(std::string_view name) const;
+
+  /// Maximum number of accessory kinds an AccessorySet can hold.
+  static constexpr int kMaxAccessories = 32;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> costs_;
+};
+
+/// A set of accessory kinds, by id. Small and value-semantic; supports the
+/// subset test that underlies the binding rule ("the device includes the
+/// accessories required by the operation").
+class AccessorySet {
+ public:
+  constexpr AccessorySet() = default;
+
+  /// Convenience construction from a list of ids.
+  AccessorySet(std::initializer_list<AccessoryId> ids);
+
+  void insert(AccessoryId id);
+  void erase(AccessoryId id);
+  [[nodiscard]] bool contains(AccessoryId id) const;
+  [[nodiscard]] bool is_subset_of(AccessorySet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  [[nodiscard]] int count() const;
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+
+  [[nodiscard]] AccessorySet united_with(AccessorySet other) const {
+    AccessorySet result;
+    result.bits_ = bits_ | other.bits_;
+    return result;
+  }
+
+  /// Ids present in the set, ascending.
+  [[nodiscard]] std::vector<AccessoryId> to_list() const;
+
+  friend constexpr bool operator==(AccessorySet, AccessorySet) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Renders "{pump, sieve valve}" for diagnostics.
+[[nodiscard]] std::string to_string(AccessorySet set, const AccessoryRegistry& registry);
+
+}  // namespace cohls::model

@@ -1,0 +1,60 @@
+// Cost constants and objective weights of Sec. 4.3. Area costs `A_x`
+// (ring) and `A'_y` (chamber) drive constraint (16)-(17); container and
+// accessory processing costs drive (19)-(20); the weights C_t, C_a, C_pr,
+// C_p combine the four sums into the single minimization objective. All of
+// them are "adjustable ... defined by users" in the paper, so they live in
+// one value type with documented defaults.
+#pragma once
+
+#include <array>
+
+#include "model/components.hpp"
+
+namespace cohls::model {
+
+class CostModel {
+ public:
+  /// Defaults: rings dominate chambers in both area and processing (a ring
+  /// carries a peristaltic pump loop and a longer channel); larger
+  /// capacities cost proportionally more; accessory processing costs follow
+  /// the registry's built-in values.
+  CostModel();
+
+  // --- container area (constraints (16)-(17)) -----------------------------
+  [[nodiscard]] double area(ContainerKind kind, Capacity capacity) const;
+  void set_area(ContainerKind kind, Capacity capacity, double area);
+
+  // --- container processing cost ------------------------------------------
+  [[nodiscard]] double container_processing(ContainerKind kind, Capacity capacity) const;
+  void set_container_processing(ContainerKind kind, Capacity capacity, double cost);
+
+  // --- accessory processing cost (constraint (19)) --------------------------
+  /// Cost of accessory `id` per the registry the assay was built with.
+  [[nodiscard]] double accessory_processing(const AccessoryRegistry& registry,
+                                            AccessoryId id) const {
+    return registry.processing_cost(id);
+  }
+  [[nodiscard]] double accessory_set_processing(const AccessoryRegistry& registry,
+                                                AccessorySet set) const;
+
+  // --- objective weights ----------------------------------------------------
+  [[nodiscard]] double weight_time() const { return weight_time_; }
+  [[nodiscard]] double weight_area() const { return weight_area_; }
+  [[nodiscard]] double weight_processing() const { return weight_processing_; }
+  [[nodiscard]] double weight_paths() const { return weight_paths_; }
+  void set_weights(double time, double area, double processing, double paths);
+
+ private:
+  static std::size_t capacity_index(Capacity c) { return static_cast<std::size_t>(c); }
+
+  std::array<double, 4> ring_area_;
+  std::array<double, 4> chamber_area_;
+  std::array<double, 4> ring_processing_;
+  std::array<double, 4> chamber_processing_;
+  double weight_time_;
+  double weight_area_;
+  double weight_processing_;
+  double weight_paths_;
+};
+
+}  // namespace cohls::model

@@ -1,0 +1,61 @@
+#include "model/device.hpp"
+
+namespace cohls::model {
+
+double device_area(const DeviceConfig& config, const CostModel& costs) {
+  return costs.area(config.container, config.capacity);
+}
+
+double device_processing(const DeviceConfig& config, const CostModel& costs,
+                         const AccessoryRegistry& registry) {
+  return costs.container_processing(config.container, config.capacity) +
+         costs.accessory_set_processing(registry, config.accessories);
+}
+
+DeviceInventory::DeviceInventory(int max_devices) : max_devices_(max_devices) {
+  COHLS_EXPECT(max_devices >= 1, "the chip must allow at least one device");
+}
+
+DeviceId DeviceInventory::instantiate(const DeviceConfig& config, LayerId created_in) {
+  COHLS_EXPECT(config.valid(), "device capacity not admissible for its container kind");
+  if (full()) {
+    throw InfeasibleError("device inventory is full: |D| devices already integrated");
+  }
+  const DeviceId id{size()};
+  devices_.push_back(Device{id, config, created_in});
+  return id;
+}
+
+const Device& DeviceInventory::device(DeviceId id) const {
+  COHLS_EXPECT(id.valid() && id.value() < size(), "unknown device id");
+  return devices_[id.index()];
+}
+
+std::vector<DeviceId> DeviceInventory::created_in_layer(LayerId layer) const {
+  std::vector<DeviceId> ids;
+  for (const Device& d : devices_) {
+    if (d.created_in == layer) {
+      ids.push_back(d.id);
+    }
+  }
+  return ids;
+}
+
+double DeviceInventory::total_area(const CostModel& costs) const {
+  double total = 0.0;
+  for (const Device& d : devices_) {
+    total += device_area(d.config, costs);
+  }
+  return total;
+}
+
+double DeviceInventory::total_processing(const CostModel& costs,
+                                         const AccessoryRegistry& registry) const {
+  double total = 0.0;
+  for (const Device& d : devices_) {
+    total += device_processing(d.config, costs, registry);
+  }
+  return total;
+}
+
+}  // namespace cohls::model

@@ -1,0 +1,78 @@
+// General device (Sec. 2.2): "a general platform for operation execution
+// [that] consists of one container and a certain number of accessories."
+// The DeviceInventory is the shared set D of Sec. 4 — its cardinality bound
+// is the user-given maximum number of devices allowed on the chip, and it is
+// shared among the per-layer models and edited by the inheritance rule.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/components.hpp"
+#include "model/cost_model.hpp"
+#include "util/ids.hpp"
+
+namespace cohls::model {
+
+/// A concrete general-device configuration: one container plus accessories.
+struct DeviceConfig {
+  ContainerKind container = ContainerKind::Chamber;
+  Capacity capacity = Capacity::Tiny;
+  AccessorySet accessories;
+
+  /// True when the capacity is admissible for the container kind
+  /// (constraints (3)-(4)).
+  [[nodiscard]] bool valid() const { return capacity_allowed(container, capacity); }
+
+  friend bool operator==(const DeviceConfig&, const DeviceConfig&) = default;
+};
+
+/// Chip-cost of one device: weighted area + processing of its container and
+/// accessories.
+[[nodiscard]] double device_area(const DeviceConfig& config, const CostModel& costs);
+[[nodiscard]] double device_processing(const DeviceConfig& config, const CostModel& costs,
+                                       const AccessoryRegistry& registry);
+
+/// An instantiated device on the chip.
+struct Device {
+  DeviceId id;
+  DeviceConfig config;
+  /// Layer whose synthesis created this device (D'_i membership in
+  /// Sec. 3.2); invalid for devices provided up-front by the user.
+  LayerId created_in;
+};
+
+/// The shared device set D. Devices are append-only within a synthesis
+/// pass; progressive re-synthesis starts fresh inventories per iteration.
+class DeviceInventory {
+ public:
+  /// `max_devices` is |D|: "the maximal number of devices allowed to be
+  /// integrated on the chip ... given by the user".
+  explicit DeviceInventory(int max_devices);
+
+  [[nodiscard]] int max_devices() const { return max_devices_; }
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] bool full() const { return size() >= max_devices_; }
+
+  /// Instantiates a device; throws InfeasibleError when the inventory is
+  /// full and PreconditionError when the config is invalid.
+  DeviceId instantiate(const DeviceConfig& config, LayerId created_in);
+
+  [[nodiscard]] const Device& device(DeviceId id) const;
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+
+  /// Devices created by a given layer (the set D'_i).
+  [[nodiscard]] std::vector<DeviceId> created_in_layer(LayerId layer) const;
+
+  /// Total container area of all instantiated devices (sum_a).
+  [[nodiscard]] double total_area(const CostModel& costs) const;
+  /// Total processing cost of containers and accessories (sum_pr).
+  [[nodiscard]] double total_processing(const CostModel& costs,
+                                        const AccessoryRegistry& registry) const;
+
+ private:
+  int max_devices_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace cohls::model

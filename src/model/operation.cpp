@@ -1,0 +1,16 @@
+#include "model/operation.hpp"
+
+namespace cohls::model {
+
+Operation::Operation(OperationId id, OperationSpec spec) : id_(id), spec_(std::move(spec)) {
+  COHLS_EXPECT(id_.valid(), "operation id must be valid");
+  COHLS_EXPECT(!spec_.name.empty(), "operation name must be non-empty");
+  COHLS_EXPECT(spec_.duration > Minutes{0},
+               "operation duration (or indeterminate minimum) must be positive");
+  if (spec_.container.has_value() && spec_.capacity.has_value()) {
+    COHLS_EXPECT(capacity_allowed(*spec_.container, *spec_.capacity),
+                 "requested capacity is not available for the requested container kind");
+  }
+}
+
+}  // namespace cohls::model

@@ -1,0 +1,65 @@
+// Component-oriented operation definition (Sec. 2.2): an operation is
+// described by (a) the container (with capacity) and accessories it needs,
+// (b) an execution duration — exact, or indeterminate with a minimum — and
+// (c) its dependencies (parent operations whose outputs it consumes).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/components.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace cohls::model {
+
+/// Mutable description used to add an operation to an Assay.
+struct OperationSpec {
+  std::string name;
+
+  /// Required container kind; unset means "either a ring or a chamber of
+  /// corresponding size" (Sec. 2.2).
+  std::optional<ContainerKind> container;
+
+  /// Required container capacity; unset means any capacity fits.
+  std::optional<Capacity> capacity;
+
+  /// Accessories the executing device must include.
+  AccessorySet accessories;
+
+  /// Exact execution duration — or the *minimum* duration when
+  /// `indeterminate` is set (the actual duration is only known at run time).
+  Minutes duration{0};
+
+  /// True for operations like single-cell capture whose completion is
+  /// decided by a cyberphysical check, not by the clock.
+  bool indeterminate = false;
+
+  /// Parent operations; must already exist in the assay (this forces the
+  /// dependency graph to be acyclic by construction).
+  std::vector<OperationId> parents;
+};
+
+/// Immutable operation record stored inside an Assay.
+class Operation {
+ public:
+  Operation(OperationId id, OperationSpec spec);
+
+  [[nodiscard]] OperationId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const std::optional<ContainerKind>& container() const {
+    return spec_.container;
+  }
+  [[nodiscard]] const std::optional<Capacity>& capacity() const { return spec_.capacity; }
+  [[nodiscard]] AccessorySet accessories() const { return spec_.accessories; }
+  [[nodiscard]] Minutes duration() const { return spec_.duration; }
+  [[nodiscard]] bool indeterminate() const { return spec_.indeterminate; }
+  [[nodiscard]] const std::vector<OperationId>& parents() const { return spec_.parents; }
+
+ private:
+  OperationId id_;
+  OperationSpec spec_;
+};
+
+}  // namespace cohls::model

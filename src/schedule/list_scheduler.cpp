@@ -1,0 +1,581 @@
+#include "schedule/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace cohls::schedule {
+
+namespace {
+
+/// Longest downstream duration chain within the layer (critical-path
+/// priority). Indeterminate operations contribute their minimum duration.
+std::map<OperationId, Minutes> critical_priorities(const LayerRequest& request,
+                                                   const model::Assay& assay) {
+  std::map<OperationId, Minutes> priority;
+  // Children always carry larger ids than their parents, so a reverse sweep
+  // over sorted ids sees children before parents.
+  std::vector<OperationId> ordered = request.ops;
+  std::sort(ordered.begin(), ordered.end());
+  const std::set<OperationId> in_layer(ordered.begin(), ordered.end());
+  for (auto it = ordered.rbegin(); it != ordered.rend(); ++it) {
+    Minutes best{0};
+    for (const OperationId child : assay.children(*it)) {
+      if (in_layer.count(child)) {
+        best = std::max(best, priority.at(child));
+      }
+    }
+    priority[*it] = best + assay.operation(*it).duration();
+  }
+  return priority;
+}
+
+struct DeviceState {
+  DeviceId id;
+  model::DeviceConfig config;
+  Minutes available{0};
+};
+
+class LayerScheduler {
+ public:
+  LayerScheduler(const LayerRequest& request, const model::Assay& assay,
+                 const TransportPlan& transport, const model::CostModel& costs,
+                 model::DeviceInventory& inventory)
+      : request_(request),
+        assay_(assay),
+        transport_(transport),
+        costs_(costs),
+        inventory_(inventory),
+        in_layer_(request.ops.begin(), request.ops.end()),
+        binds_(request.binds ? request.binds
+                             : [](const model::Operation& op,
+                                  const model::DeviceConfig& config) {
+                                 return model::is_compatible(op, config);
+                               }) {
+    for (const DeviceId id : request.usable_devices) {
+      devices_.push_back(DeviceState{id, inventory.device(id).config, Minutes{0}});
+    }
+    hint_consumed_.assign(request.hints.size(), false);
+    paths_ = request.existing_paths;
+    unplaced_ = in_layer_;
+  }
+
+  LayerResult run() {
+    LayerResult result;
+    result.schedule.layer = request_.layer;
+    const auto priority = critical_priorities(request_, assay_);
+
+    std::vector<OperationId> determinate;
+    std::vector<OperationId> indeterminate;
+    for (const OperationId id : request_.ops) {
+      (assay_.operation(id).indeterminate() ? indeterminate : determinate).push_back(id);
+    }
+
+    place_determinate(determinate, priority, result);
+    place_indeterminate(indeterminate, result);
+    fill_transport_fields(result.schedule);
+    return result;
+  }
+
+ private:
+  // ---- readiness ----------------------------------------------------------
+  bool ready(OperationId id) const {
+    for (const OperationId parent : assay_.operation(id).parents()) {
+      if (in_layer_.count(parent) && !placed_.count(parent)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Rounds a start time up to the next slot boundary when fixed-time-slot
+  /// scheduling is requested.
+  Minutes quantize(Minutes start) const {
+    const std::int64_t slot = request_.slot_size.count();
+    if (slot <= 0) {
+      return start;
+    }
+    return Minutes{(start.count() + slot - 1) / slot * slot};
+  }
+
+  /// Earliest start of `id` on a device, honoring parent completions and
+  /// incoming transport (constraint (9)). Fresh devices pass an invalid id
+  /// (they can never host a parent).
+  Minutes earliest_start(OperationId id, DeviceId device, Minutes available) const {
+    Minutes start = available;
+    for (const OperationId parent : assay_.operation(id).parents()) {
+      const auto placed = placed_.find(parent);
+      if (placed != placed_.end()) {
+        const Minutes t = (device.valid() && placed->second.device == device)
+                              ? Minutes{0}
+                              : transport_.edge_time(parent, id);
+        start = std::max(start, placed->second.end + t);
+        continue;
+      }
+      const auto prior = request_.prior_binding.find(parent);
+      if (prior != request_.prior_binding.end() &&
+          !(device.valid() && prior->second == device)) {
+        // Reagent inherited across the layer boundary must be moved first.
+        start = std::max(start, transport_.edge_time(parent, id));
+      }
+    }
+    return quantize(start);
+  }
+
+  /// Worst-case outgoing transport of `id`: assume every same-layer child
+  /// lands on another device. Reserving this up-front guarantees the device
+  /// is free during any transfer the final binding actually needs.
+  Minutes outgoing_reserve(OperationId id) const {
+    Minutes reserve{0};
+    for (const OperationId child : assay_.children(id)) {
+      if (in_layer_.count(child)) {
+        reserve = std::max(reserve, transport_.edge_time(id, child));
+      }
+    }
+    return reserve;
+  }
+
+  /// Parent devices of `id` under the current partial binding.
+  std::vector<DeviceId> parent_devices(OperationId id) const {
+    std::vector<DeviceId> out;
+    for (const OperationId parent : assay_.operation(id).parents()) {
+      const auto placed = placed_.find(parent);
+      if (placed != placed_.end()) {
+        out.push_back(placed->second.device);
+        continue;
+      }
+      const auto prior = request_.prior_binding.find(parent);
+      if (prior != request_.prior_binding.end()) {
+        out.push_back(prior->second);
+      }
+    }
+    return out;
+  }
+
+  int new_paths_on(OperationId id, DeviceId device) const {
+    int count = 0;
+    std::set<DevicePath> seen;
+    for (const DeviceId parent_device : parent_devices(id)) {
+      if (device.valid() && parent_device == device) {
+        continue;
+      }
+      if (!device.valid()) {
+        // Fresh device: any inter-device edge is a new path; dedupe by
+        // parent device.
+        if (seen.insert(make_path(parent_device, DeviceId{-1})).second) {
+          ++count;
+        }
+        continue;
+      }
+      const DevicePath path = make_path(parent_device, device);
+      if (!paths_.count(path) && seen.insert(path).second) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // ---- capability reservation ---------------------------------------------
+  /// Conservative count of inventory slots that must stay free for the
+  /// *other* unplaced operations of this layer: one per distinct
+  /// requirement signature no current device satisfies, plus one per
+  /// indeterminate operation that cannot be matched to a distinct existing
+  /// device. Spawning a device for parallelism is only allowed when it
+  /// leaves at least this many slots.
+  int slots_reserved_for_others(OperationId current) const {
+    std::set<std::tuple<int, int, std::uint64_t>> unsatisfied_groups;
+    std::set<DeviceId> matched;
+    int unmatched_indeterminate = 0;
+    for (const OperationId id : unplaced_) {
+      if (id == current) {
+        continue;
+      }
+      const model::Operation& op = assay_.operation(id);
+      if (!op.indeterminate()) {
+        bool satisfied = false;
+        for (const DeviceState& d : devices_) {
+          if (binds_(op, d.config)) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (!satisfied) {
+          std::uint64_t acc_bits = 0;
+          for (const model::AccessoryId a : op.accessories().to_list()) {
+            acc_bits |= (std::uint64_t{1} << a);
+          }
+          unsatisfied_groups.insert(
+              {op.container() ? static_cast<int>(*op.container()) : -1,
+               op.capacity() ? static_cast<int>(*op.capacity()) : -1, acc_bits});
+        }
+        continue;
+      }
+      // Indeterminate: needs its own device, distinct from those already
+      // claimed by other indeterminate operations.
+      bool found = false;
+      for (const DeviceState& d : devices_) {
+        if (!indeterminate_devices_.count(d.id) && !matched.count(d.id) &&
+            binds_(op, d.config)) {
+          matched.insert(d.id);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++unmatched_indeterminate;
+      }
+    }
+    return static_cast<int>(unsatisfied_groups.size()) + unmatched_indeterminate;
+  }
+
+  /// When slots are scarce, a forced new device is *enriched*: it takes the
+  /// union of the accessory needs of still-unsatisfied operations whose
+  /// container/capacity requirements it can also honor, so one slot can
+  /// unblock several requirement groups. Only applies to the
+  /// component-oriented rule (custom new_config callers keep exact classes).
+  model::DeviceConfig enrich_config(model::DeviceConfig config,
+                                    OperationId current) const {
+    for (const OperationId id : unplaced_) {
+      if (id == current) {
+        continue;
+      }
+      const model::Operation& op = assay_.operation(id);
+      bool satisfied = false;
+      for (const DeviceState& d : devices_) {
+        if (binds_(op, d.config)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        continue;
+      }
+      if (op.container().has_value() && *op.container() != config.container) {
+        continue;
+      }
+      if (op.capacity().has_value() && *op.capacity() != config.capacity) {
+        continue;
+      }
+      config.accessories = config.accessories.united_with(op.accessories());
+    }
+    return config;
+  }
+
+  // ---- binding choice -----------------------------------------------------
+  struct Choice {
+    bool fresh = false;
+    std::size_t device_index = 0;      // when !fresh
+    model::DeviceConfig fresh_config;  // when fresh
+    int hint_key = -1;                 // >= 0 when the fresh device is a hint
+    std::size_t hint_index = 0;
+    Minutes start{0};
+    double score = 0.0;
+  };
+
+  /// Lookahead: unscheduled descendants (in this layer or later ones) that
+  /// could run on the same device need no new path and no transport; half
+  /// the path weight per such descendant rewards binding (or building)
+  /// devices the pipeline can stay on.
+  int hostable_descendants(OperationId id, const model::DeviceConfig& config) const {
+    int count = 0;
+    std::vector<OperationId> frontier{id};
+    std::set<OperationId> seen{id};
+    while (!frontier.empty()) {
+      const OperationId current = frontier.back();
+      frontier.pop_back();
+      for (const OperationId child : assay_.children(current)) {
+        if (!seen.insert(child).second || placed_.count(child)) {
+          continue;
+        }
+        frontier.push_back(child);
+        if (binds_(assay_.operation(child), config)) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  }
+
+  double base_score(OperationId id, DeviceId device, const model::DeviceConfig& config,
+                    Minutes start) const {
+    const Minutes completion = start + assay_.operation(id).duration();
+    return costs_.weight_time() * static_cast<double>(completion.count()) +
+           costs_.weight_paths() * new_paths_on(id, device) -
+           0.5 * costs_.weight_paths() * hostable_descendants(id, config);
+  }
+
+  /// The component-oriented alternative to a minimal device: enrich the
+  /// configuration with the accessory needs of the operation's descendants
+  /// (across layer boundaries — devices persist) that the container and
+  /// capacity can also honor, so the whole pipeline suffix can stay on one
+  /// device. This is exactly the paper's integrated-device reality: mixers
+  /// with cell-separation modules, heaters and optics on one ring
+  /// (Fig. 1/2).
+  model::DeviceConfig pipeline_config(OperationId id,
+                                      model::DeviceConfig config) const {
+    std::vector<OperationId> frontier{id};
+    std::set<OperationId> seen{id};
+    while (!frontier.empty()) {
+      const OperationId current = frontier.back();
+      frontier.pop_back();
+      for (const OperationId child : assay_.children(current)) {
+        if (!seen.insert(child).second) {
+          continue;
+        }
+        frontier.push_back(child);
+        const model::Operation& op = assay_.operation(child);
+        if (op.container().has_value() && *op.container() != config.container) {
+          continue;
+        }
+        if (op.capacity().has_value() && *op.capacity() != config.capacity) {
+          continue;
+        }
+        config.accessories = config.accessories.united_with(op.accessories());
+      }
+    }
+    return config;
+  }
+
+  std::optional<Choice> best_choice(OperationId id, bool exclude_indeterminate_devices) {
+    const model::Operation& op = assay_.operation(id);
+    std::optional<Choice> best;
+    const auto offer = [&](const Choice& candidate) {
+      if (!best || candidate.score < best->score - 1e-9) {
+        best = candidate;
+      }
+    };
+
+    bool reusable_exists = false;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      const DeviceState& d = devices_[i];
+      if (!binds_(op, d.config)) {
+        continue;
+      }
+      if (exclude_indeterminate_devices && indeterminate_devices_.count(d.id)) {
+        continue;
+      }
+      reusable_exists = true;
+      Choice c;
+      c.fresh = false;
+      c.device_index = i;
+      c.start = earliest_start(id, d.id, d.available);
+      c.score = base_score(id, d.id, d.config, c.start);
+      offer(c);
+    }
+
+    // Capability reservation: a fresh device for mere parallelism must not
+    // consume a slot that a still-unsatisfied requirement group will need.
+    const int slots_left = inventory_.max_devices() - inventory_.size();
+    const bool slots_scarce = slots_left <= slots_reserved_for_others(id);
+    const bool allow_fresh = request_.allow_new_devices && slots_left > 0 &&
+                             (!reusable_exists || !slots_scarce);
+
+    if (allow_fresh) {
+      // Hinted configurations: a later layer integrates them anyway, so the
+      // integration cost is already accounted for globally.
+      for (std::size_t h = 0; h < request_.hints.size(); ++h) {
+        if (hint_consumed_[h]) {
+          continue;
+        }
+        const DeviceHint& hint = request_.hints[h];
+        if (!binds_(op, hint.config)) {
+          continue;
+        }
+        Choice c;
+        c.fresh = true;
+        c.fresh_config = hint.config;
+        c.hint_key = hint.key;
+        c.hint_index = h;
+        c.start = earliest_start(id, DeviceId{}, Minutes{0});
+        c.score = base_score(id, DeviceId{}, hint.config, c.start);
+        offer(c);
+      }
+      // Brand-new devices, at full integration cost. The component-oriented
+      // rule offers both a minimal configuration and a pipeline-enriched one
+      // (plus requirement-group enrichment under slot scarcity); custom
+      // new_config callers (the conventional baseline) get exactly their
+      // class configuration.
+      std::vector<model::DeviceConfig> candidates;
+      if (request_.new_config) {
+        candidates.push_back(request_.new_config(op));
+      } else {
+        model::DeviceConfig minimal = model::minimal_config(op, costs_, assay_.registry());
+        if (slots_scarce) {
+          minimal = enrich_config(minimal, id);
+        }
+        candidates.push_back(minimal);
+        const model::DeviceConfig piped = pipeline_config(id, candidates.front());
+        if (!(piped == candidates.front())) {
+          candidates.push_back(piped);
+        }
+      }
+      for (const model::DeviceConfig& config : candidates) {
+        if (!binds_(op, config)) {
+          continue;
+        }
+        Choice c;
+        c.fresh = true;
+        c.fresh_config = config;
+        c.start = earliest_start(id, DeviceId{}, Minutes{0});
+        c.score = base_score(id, DeviceId{}, config, c.start) +
+                  costs_.weight_area() * model::device_area(config, costs_) +
+                  costs_.weight_processing() *
+                      model::device_processing(config, costs_, assay_.registry());
+        offer(c);
+      }
+    }
+    return best;
+  }
+
+  /// Turns a fresh choice into a real device; returns the devices_ index.
+  std::size_t materialize(const Choice& choice, LayerResult& result) {
+    if (!choice.fresh) {
+      return choice.device_index;
+    }
+    const DeviceId id = inventory_.instantiate(choice.fresh_config, request_.layer);
+    devices_.push_back(DeviceState{id, choice.fresh_config, Minutes{0}});
+    if (choice.hint_key >= 0) {
+      hint_consumed_[choice.hint_index] = true;
+      result.consumed_hints.push_back(choice.hint_key);
+    }
+    return devices_.size() - 1;
+  }
+
+  void commit(OperationId id, const Choice& choice, std::size_t device_index,
+              LayerResult& result) {
+    DeviceState& d = devices_[device_index];
+    const model::Operation& op = assay_.operation(id);
+    const Minutes end = choice.start + op.duration();
+    d.available = end + outgoing_reserve(id);
+    placed_.emplace(id, PlacedOp{d.id, end});
+    unplaced_.erase(id);
+    for (const DeviceId parent_device : parent_devices(id)) {
+      if (parent_device != d.id) {
+        paths_.insert(make_path(parent_device, d.id));
+      }
+    }
+    result.schedule.items.push_back(
+        ScheduledOperation{id, d.id, choice.start, op.duration(), Minutes{0}});
+  }
+
+  void place_determinate(const std::vector<OperationId>& ops,
+                         const std::map<OperationId, Minutes>& priority,
+                         LayerResult& result) {
+    std::set<OperationId> pending(ops.begin(), ops.end());
+    while (!pending.empty()) {
+      // Highest critical-path priority among ready operations.
+      OperationId pick;
+      Minutes best_priority{-1};
+      for (const OperationId id : pending) {
+        if (!ready(id)) {
+          continue;
+        }
+        if (priority.at(id) > best_priority) {
+          best_priority = priority.at(id);
+          pick = id;
+        }
+      }
+      COHLS_ASSERT(pick.valid(), "no ready operation: layer dependencies are cyclic");
+      const auto choice = best_choice(pick, /*exclude_indeterminate_devices=*/false);
+      if (!choice) {
+        throw InfeasibleError("no device can execute operation '" +
+                              assay_.operation(pick).name() +
+                              "' and the inventory is exhausted");
+      }
+      const std::size_t index = materialize(*choice, result);
+      commit(pick, *choice, index, result);
+      pending.erase(pick);
+    }
+  }
+
+  void place_indeterminate(const std::vector<OperationId>& ops, LayerResult& result) {
+    if (ops.empty()) {
+      return;
+    }
+    // Bind each indeterminate operation to its own device (they must run in
+    // parallel), then align all starts to a common time T so constraint
+    // (14) holds pairwise and against every determinate start.
+    struct Tentative {
+      OperationId id;
+      Choice choice;
+      std::size_t device_index;
+    };
+    std::vector<Tentative> tentative;
+    for (const OperationId id : ops) {
+      const auto choice = best_choice(id, /*exclude_indeterminate_devices=*/true);
+      if (!choice) {
+        throw InfeasibleError(
+            "cannot give indeterminate operation '" + assay_.operation(id).name() +
+            "' a dedicated device; increase |D| or lower the layer threshold");
+      }
+      const std::size_t index = materialize(*choice, result);
+      indeterminate_devices_.insert(devices_[index].id);
+      tentative.push_back(Tentative{id, *choice, index});
+    }
+    Minutes common_start{0};
+    for (const Tentative& t : tentative) {
+      common_start = std::max(common_start, t.choice.start);
+    }
+    for (const ScheduledOperation& item : result.schedule.items) {
+      common_start = std::max(common_start, item.start);
+    }
+    for (Tentative& t : tentative) {
+      t.choice.start = common_start;
+      commit(t.id, t.choice, t.device_index, result);
+    }
+  }
+
+  /// Reporting only: the actual outgoing transport each operation needs
+  /// given the final binding (<= the reserved worst case).
+  void fill_transport_fields(LayerSchedule& schedule) const {
+    for (ScheduledOperation& item : schedule.items) {
+      Minutes actual{0};
+      for (const OperationId child : assay_.children(item.op)) {
+        const auto placed = placed_.find(child);
+        if (placed != placed_.end() && placed->second.device != item.device) {
+          actual = std::max(actual, transport_.edge_time(item.op, child));
+        }
+      }
+      item.transport = actual;
+    }
+  }
+
+  struct PlacedOp {
+    DeviceId device;
+    Minutes end;
+  };
+
+  const LayerRequest& request_;
+  const model::Assay& assay_;
+  const TransportPlan& transport_;
+  const model::CostModel& costs_;
+  model::DeviceInventory& inventory_;
+  std::set<OperationId> in_layer_;
+  std::set<OperationId> unplaced_;
+  std::function<bool(const model::Operation&, const model::DeviceConfig&)> binds_;
+  std::vector<DeviceState> devices_;
+  std::vector<bool> hint_consumed_;
+  std::map<OperationId, PlacedOp> placed_;
+  std::set<DevicePath> paths_;
+  std::set<DeviceId> indeterminate_devices_;
+};
+
+}  // namespace
+
+LayerResult schedule_layer(const LayerRequest& request, const model::Assay& assay,
+                           const TransportPlan& transport, const model::CostModel& costs,
+                           model::DeviceInventory& inventory) {
+  for (const OperationId id : request.ops) {
+    COHLS_EXPECT(id.valid() && id.value() < assay.operation_count(),
+                 "layer references an operation outside the assay");
+  }
+  LayerScheduler scheduler(request, assay, transport, costs, inventory);
+  return scheduler.run();
+}
+
+}  // namespace cohls::schedule

@@ -1,0 +1,33 @@
+#include "schedule/objective.hpp"
+
+#include <set>
+
+namespace cohls::schedule {
+
+ObjectiveBreakdown evaluate_objective(const SynthesisResult& result,
+                                      const model::Assay& assay,
+                                      const model::CostModel& costs) {
+  ObjectiveBreakdown out;
+  out.time_minutes = static_cast<double>(result.total_time(assay).fixed().count());
+
+  std::set<DeviceId> used;
+  for (const LayerSchedule& layer : result.layers) {
+    for (const ScheduledOperation& item : layer.items) {
+      used.insert(item.device);
+    }
+  }
+  for (const DeviceId id : used) {
+    const model::Device& device = result.devices.device(id);
+    out.area += model::device_area(device.config, costs);
+    out.processing += model::device_processing(device.config, costs, assay.registry());
+  }
+  out.path_count = static_cast<double>(result.path_count(assay));
+
+  out.weighted_total = costs.weight_time() * out.time_minutes +
+                       costs.weight_area() * out.area +
+                       costs.weight_processing() * out.processing +
+                       costs.weight_paths() * out.path_count;
+  return out;
+}
+
+}  // namespace cohls::schedule

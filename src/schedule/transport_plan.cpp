@@ -1,0 +1,35 @@
+#include "schedule/transport_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cohls::schedule {
+
+Minutes TransportProgression::term(int k) const {
+  COHLS_EXPECT(terms >= 1, "progression needs at least one term");
+  COHLS_EXPECT(minimum <= maximum, "progression minimum exceeds maximum");
+  COHLS_EXPECT(k >= 0, "term index must be non-negative");
+  if (terms == 1 || k >= terms) {
+    return k >= terms ? maximum : minimum;
+  }
+  const std::int64_t span = (maximum - minimum).count();
+  const std::int64_t step_num = span * k;
+  return minimum + Minutes{step_num / (terms - 1)};
+}
+
+TransportPlan::TransportPlan(Minutes uniform) : uniform_(uniform) {
+  COHLS_EXPECT(uniform >= Minutes{0}, "transport time must be non-negative");
+}
+
+Minutes TransportPlan::edge_time(OperationId parent, OperationId child) const {
+  const auto it = edges_.find({parent, child});
+  return it == edges_.end() ? uniform_ : it->second;
+}
+
+void TransportPlan::set_edge_time(OperationId parent, OperationId child, Minutes time) {
+  COHLS_EXPECT(time >= Minutes{0}, "transport time must be non-negative");
+  edges_[{parent, child}] = time;
+}
+
+}  // namespace cohls::schedule

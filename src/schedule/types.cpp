@@ -1,0 +1,81 @@
+#include "schedule/types.hpp"
+
+#include <algorithm>
+
+namespace cohls::schedule {
+
+Minutes LayerSchedule::makespan() const {
+  Minutes latest{0};
+  for (const ScheduledOperation& item : items) {
+    latest = std::max(latest, item.end());
+  }
+  return latest;
+}
+
+bool LayerSchedule::has_indeterminate(const model::Assay& assay) const {
+  return std::any_of(items.begin(), items.end(), [&](const ScheduledOperation& item) {
+    return assay.operation(item.op).indeterminate();
+  });
+}
+
+const ScheduledOperation* LayerSchedule::find(OperationId op) const {
+  for (const ScheduledOperation& item : items) {
+    if (item.op == op) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+DevicePath make_path(DeviceId a, DeviceId b) {
+  return a < b ? DevicePath{a, b} : DevicePath{b, a};
+}
+
+std::map<OperationId, DeviceId> SynthesisResult::binding() const {
+  std::map<OperationId, DeviceId> map;
+  for (const LayerSchedule& layer : layers) {
+    for (const ScheduledOperation& item : layer.items) {
+      map[item.op] = item.device;
+    }
+  }
+  return map;
+}
+
+std::set<DevicePath> SynthesisResult::paths(const model::Assay& assay) const {
+  const auto bound = binding();
+  std::set<DevicePath> result;
+  for (const auto& [op, device] : bound) {
+    for (const OperationId child : assay.children(op)) {
+      const auto it = bound.find(child);
+      if (it != bound.end() && it->second != device) {
+        result.insert(make_path(device, it->second));
+      }
+    }
+  }
+  return result;
+}
+
+int SynthesisResult::used_device_count() const {
+  std::set<DeviceId> used;
+  for (const LayerSchedule& layer : layers) {
+    for (const ScheduledOperation& item : layer.items) {
+      used.insert(item.device);
+    }
+  }
+  return static_cast<int>(used.size());
+}
+
+SymbolicDuration SynthesisResult::total_time(const model::Assay& assay) const {
+  SymbolicDuration total;
+  int layer_number = 0;
+  for (const LayerSchedule& layer : layers) {
+    ++layer_number;
+    total.add_fixed(layer.makespan());
+    if (layer.has_indeterminate(assay)) {
+      total.add_symbol(layer_number);
+    }
+  }
+  return total;
+}
+
+}  // namespace cohls::schedule

@@ -1,0 +1,182 @@
+#include "schedule/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "model/compatibility.hpp"
+
+namespace cohls::schedule {
+
+namespace {
+
+struct Placement {
+  int layer_index;  // position in result.layers
+  const ScheduledOperation* item;
+};
+
+/// Occupation end of `item` on its device: completion plus the longest
+/// outgoing transport to a same-layer child on a different device.
+Minutes occupation_end(const ScheduledOperation& item, const model::Assay& assay,
+                       const TransportPlan& transport,
+                       const std::map<OperationId, Placement>& placements) {
+  Minutes end = item.end();
+  const auto self = placements.at(item.op);
+  for (const OperationId child : assay.children(item.op)) {
+    const auto it = placements.find(child);
+    if (it == placements.end()) {
+      continue;
+    }
+    if (it->second.layer_index == self.layer_index &&
+        it->second.item->device != item.device) {
+      end = std::max(end, item.end() + transport.edge_time(item.op, child));
+    }
+  }
+  return end;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_result(const SynthesisResult& result,
+                                         const model::Assay& assay,
+                                         const TransportPlan& transport) {
+  std::vector<std::string> violations;
+  const auto report = [&violations](const std::string& message) {
+    violations.push_back(message);
+  };
+  const auto op_name = [&assay](OperationId id) {
+    return "op '" + assay.operation(id).name() + "' (#" + std::to_string(id.value()) + ")";
+  };
+
+  // -- coverage: each operation exactly once ------------------------------
+  std::map<OperationId, Placement> placements;
+  for (int li = 0; li < static_cast<int>(result.layers.size()); ++li) {
+    for (const ScheduledOperation& item : result.layers[static_cast<std::size_t>(li)].items) {
+      if (!item.op.valid() || item.op.value() >= assay.operation_count()) {
+        report("schedule references an operation outside the assay");
+        continue;
+      }
+      if (!placements.emplace(item.op, Placement{li, &item}).second) {
+        report(op_name(item.op) + " is scheduled more than once");
+      }
+    }
+  }
+  for (const model::Operation& op : assay.operations()) {
+    if (!placements.count(op.id())) {
+      report(op_name(op.id()) + " is missing from the schedule");
+    }
+  }
+  if (!violations.empty()) {
+    return violations;  // structural problems make later checks meaningless
+  }
+
+  // -- per-item checks: start, duration, binding legality ------------------
+  for (const auto& [id, placement] : placements) {
+    const ScheduledOperation& item = *placement.item;
+    const model::Operation& op = assay.operation(id);
+    if (item.start < Minutes{0}) {
+      report(op_name(id) + " starts before the layer begins");
+    }
+    if (item.duration != op.duration()) {
+      std::ostringstream msg;
+      msg << op_name(id) << " scheduled with duration " << item.duration
+          << " but the assay declares " << op.duration();
+      report(msg.str());
+    }
+    if (!item.device.valid() || item.device.value() >= result.devices.size()) {
+      report(op_name(id) + " is bound to a device missing from the inventory");
+      continue;
+    }
+    const model::Device& device = result.devices.device(item.device);
+    if (!model::is_compatible(op, device.config)) {
+      report(op_name(id) + " is bound to an incompatible device #" +
+             std::to_string(item.device.value()));
+    }
+  }
+
+  // -- dependency constraints ----------------------------------------------
+  for (const model::Operation& op : assay.operations()) {
+    const Placement child = placements.at(op.id());
+    for (const OperationId parent_id : op.parents()) {
+      const Placement parent = placements.at(parent_id);
+      if (parent.layer_index > child.layer_index) {
+        report(op_name(op.id()) + " is layered before its parent " + op_name(parent_id));
+        continue;
+      }
+      const bool same_device = parent.item->device == child.item->device;
+      const Minutes t =
+          same_device ? Minutes{0} : transport.edge_time(parent_id, op.id());
+      if (parent.layer_index == child.layer_index) {
+        if (child.item->start < parent.item->end() + t) {
+          std::ostringstream msg;
+          msg << op_name(op.id()) << " starts at " << child.item->start
+              << " before parent " << op_name(parent_id) << " completes at "
+              << parent.item->end() << " plus transport " << t;
+          report(msg.str());
+        }
+      } else if (child.item->start < t) {
+        std::ostringstream msg;
+        msg << op_name(op.id()) << " starts at " << child.item->start
+            << " before its inherited reagent arrives (transport " << t << ")";
+        report(msg.str());
+      }
+    }
+  }
+
+  // -- device-conflict prevention ------------------------------------------
+  for (const LayerSchedule& layer : result.layers) {
+    for (std::size_t a = 0; a < layer.items.size(); ++a) {
+      for (std::size_t b = a + 1; b < layer.items.size(); ++b) {
+        const ScheduledOperation& oa = layer.items[a];
+        const ScheduledOperation& ob = layer.items[b];
+        if (oa.device != ob.device) {
+          continue;
+        }
+        const Minutes end_a = occupation_end(oa, assay, transport, placements);
+        const Minutes end_b = occupation_end(ob, assay, transport, placements);
+        if (oa.start < end_b && ob.start < end_a) {
+          report(op_name(oa.op) + " and " + op_name(ob.op) +
+                 " overlap on device #" + std::to_string(oa.device.value()));
+        }
+      }
+    }
+  }
+
+  // -- indeterminate operations end their layer -----------------------------
+  for (const LayerSchedule& layer : result.layers) {
+    std::vector<const ScheduledOperation*> indeterminate;
+    for (const ScheduledOperation& item : layer.items) {
+      if (assay.operation(item.op).indeterminate()) {
+        indeterminate.push_back(&item);
+      }
+    }
+    for (const ScheduledOperation* ind : indeterminate) {
+      for (const ScheduledOperation& other : layer.items) {
+        if (other.start > ind->end()) {
+          report(op_name(other.op) + " starts after indeterminate " + op_name(ind->op) +
+                 " may already have completed (constraint 14)");
+        }
+      }
+      for (const OperationId child : assay.children(ind->op)) {
+        const Placement child_placement = placements.at(child);
+        if (&result.layers[static_cast<std::size_t>(child_placement.layer_index)] == &layer) {
+          report("indeterminate " + op_name(ind->op) + " has same-layer child " +
+                 op_name(child));
+        }
+      }
+    }
+    for (std::size_t a = 0; a < indeterminate.size(); ++a) {
+      for (std::size_t b = a + 1; b < indeterminate.size(); ++b) {
+        if (indeterminate[a]->device == indeterminate[b]->device) {
+          report("indeterminate " + op_name(indeterminate[a]->op) + " and " +
+                 op_name(indeterminate[b]->op) +
+                 " share a device; they must run in parallel");
+        }
+      }
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace cohls::schedule

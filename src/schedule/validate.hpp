@@ -1,0 +1,35 @@
+// Schedule validation: every invariant the ILP constraints (5)-(14) encode,
+// re-checked independently on the produced schedule. Both synthesis engines
+// (MILP decode and heuristic) must produce results that pass this validator,
+// which is also the backbone of the property-test suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schedule/transport_plan.hpp"
+#include "schedule/types.hpp"
+
+namespace cohls::schedule {
+
+/// Returns human-readable descriptions of every violated invariant; an
+/// empty vector means the result is valid. Checked invariants:
+///  - each assay operation is scheduled exactly once, with its declared
+///    duration and a non-negative start;
+///  - bindings reference existing devices whose configuration satisfies the
+///    operation's component requirements (constraints (5)-(8));
+///  - a child never sits in an earlier layer than a parent; same-layer
+///    children start only after the parent completes plus transport when
+///    devices differ (constraint (9)); children of prior-layer parents wait
+///    for incoming transport at the layer start;
+///  - operations on the same device never overlap, counting the outgoing
+///    transport slot as occupation (constraints (10)-(13));
+///  - indeterminate operations end their layer: no operation starts after
+///    an indeterminate operation's minimum completion (constraint (14)),
+///    indeterminate operations occupy pairwise-distinct devices, and none
+///    has a child in its own layer.
+[[nodiscard]] std::vector<std::string> validate_result(const SynthesisResult& result,
+                                                       const model::Assay& assay,
+                                                       const TransportPlan& transport);
+
+}  // namespace cohls::schedule

@@ -1,0 +1,53 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cohls::sim {
+
+RunTrace simulate_run(const schedule::SynthesisResult& result, const model::Assay& assay,
+                      const RuntimeOptions& options) {
+  COHLS_EXPECT(options.attempt_success_probability > 0.0 &&
+                   options.attempt_success_probability <= 1.0,
+               "attempt success probability must be in (0, 1]");
+  COHLS_EXPECT(options.max_attempts >= 1, "need at least one attempt");
+  Rng rng{options.seed};
+
+  RunTrace trace;
+  Minutes clock{0};
+  for (const schedule::LayerSchedule& layer : result.layers) {
+    LayerTrace layer_trace;
+    layer_trace.layer = layer.layer;
+    layer_trace.start = clock;
+    Minutes layer_span{0};
+    for (const schedule::ScheduledOperation& item : layer.items) {
+      const model::Operation& op = assay.operation(item.op);
+      OperationTrace op_trace;
+      op_trace.op = item.op;
+      op_trace.device = item.device;
+      op_trace.start = clock + item.start;
+      op_trace.actual = op.duration();
+      if (op.indeterminate()) {
+        // Retry until the cyberphysical check passes; each attempt repeats
+        // the operation's minimum duration.
+        while (op_trace.attempts < options.max_attempts &&
+               !rng.bernoulli(options.attempt_success_probability)) {
+          ++op_trace.attempts;
+        }
+        op_trace.actual = op_trace.attempts * op.duration();
+      }
+      layer_span = std::max(layer_span, item.start + op_trace.actual);
+      layer_trace.operations.push_back(op_trace);
+    }
+    clock += layer_span;
+    layer_trace.end = clock;
+    trace.layers.push_back(std::move(layer_trace));
+    trace.planned_fixed += layer.makespan();
+  }
+  trace.completed_at = clock;
+  return trace;
+}
+
+}  // namespace cohls::sim

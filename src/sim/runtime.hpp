@@ -1,0 +1,56 @@
+// Cyberphysical runtime simulation of a hybrid schedule. The synthesizer
+// plans fixed sub-schedules whose indeterminate tails are resolved at run
+// time: a capture is checked (e.g. by a fluorescence image [12]) and re-run
+// until it succeeds — [11] reports ~53% single-cell success per attempt.
+// This simulator replays the layered schedule against sampled attempt
+// counts and reports the realized timeline, demonstrating that the
+// pre-generated schedule needs no re-synthesis at run time: only the layer
+// boundaries move.
+#pragma once
+
+#include <vector>
+
+#include "model/assay.hpp"
+#include "schedule/types.hpp"
+
+namespace cohls::sim {
+
+struct RuntimeOptions {
+  /// Per-attempt success probability of an indeterminate operation.
+  double attempt_success_probability = 0.53;
+  /// Hard cap on retries (a real controller would alarm).
+  int max_attempts = 1000;
+  std::uint64_t seed = 1;
+};
+
+struct OperationTrace {
+  OperationId op;
+  DeviceId device;
+  Minutes start;   ///< absolute assay-clock start
+  Minutes actual;  ///< realized duration (attempts * minimum for indeterminate)
+  int attempts = 1;
+};
+
+struct LayerTrace {
+  LayerId layer;
+  Minutes start;  ///< absolute start of this sub-schedule
+  Minutes end;    ///< when every operation (incl. overruns) completed
+  std::vector<OperationTrace> operations;
+};
+
+struct RunTrace {
+  std::vector<LayerTrace> layers;
+  Minutes completed_at{0};
+  /// The fixed part the synthesizer promised; the difference to
+  /// `completed_at` is exactly the indeterminate overrun.
+  Minutes planned_fixed{0};
+
+  [[nodiscard]] Minutes overrun() const { return completed_at - planned_fixed; }
+};
+
+/// Replays `result` with sampled indeterminate durations.
+[[nodiscard]] RunTrace simulate_run(const schedule::SynthesisResult& result,
+                                    const model::Assay& assay,
+                                    const RuntimeOptions& options = {});
+
+}  // namespace cohls::sim

@@ -1,0 +1,26 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace cohls::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& message) {
+  std::ostringstream out;
+  out << kind << " failed: " << message << " [" << expr << "] at " << file << ':' << line;
+  return out.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  throw PreconditionError(format("precondition", expr, file, line, message));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& message) {
+  throw InvariantError(format("invariant", expr, file, line, message));
+}
+
+}  // namespace cohls::detail

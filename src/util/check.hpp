@@ -1,0 +1,54 @@
+// Checked-error support: precondition and invariant checking that throws
+// typed exceptions instead of aborting, so library users can recover and
+// tests can assert on failure modes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cohls {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug, or
+/// corrupted input that slipped past precondition checks).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a requested computation has no feasible answer (e.g. an
+/// operation that no device configuration can satisfy).
+class InfeasibleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& message);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+}  // namespace cohls
+
+/// Check a documented precondition of a public entry point.
+#define COHLS_EXPECT(expr, message)                                            \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::cohls::detail::throw_precondition(#expr, __FILE__, __LINE__, message); \
+    }                                                                          \
+  } while (false)
+
+/// Check an internal invariant.
+#define COHLS_ASSERT(expr, message)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::cohls::detail::throw_invariant(#expr, __FILE__, __LINE__, message); \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random numbers for workload generation and the
+// randomized tie-breaks in the layering algorithm ("we first randomly choose
+// an indeterminate operation..."). A fixed, seedable generator keeps tests
+// and benchmark tables reproducible across platforms, unlike
+// std::default_random_engine whose behaviour is implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace cohls {
+
+/// xoshiro256** with a splitmix64 seeder — small, fast, and identical on
+/// every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Bernoulli draw with probability `p` in [0, 1].
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace cohls

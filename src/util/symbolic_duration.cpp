@@ -1,0 +1,39 @@
+#include "util/symbolic_duration.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cohls {
+
+void SymbolicDuration::add_symbol(int layer_number) {
+  COHLS_EXPECT(layer_number >= 1, "layer numbers are 1-based");
+  const auto pos = std::lower_bound(symbols_.begin(), symbols_.end(), layer_number);
+  if (pos == symbols_.end() || *pos != layer_number) {
+    symbols_.insert(pos, layer_number);
+  }
+}
+
+SymbolicDuration& SymbolicDuration::operator+=(const SymbolicDuration& other) {
+  fixed_ += other.fixed_;
+  for (const int s : other.symbols_) {
+    add_symbol(s);
+  }
+  return *this;
+}
+
+std::string SymbolicDuration::to_string() const {
+  std::ostringstream out;
+  out << fixed_;
+  for (const int s : symbols_) {
+    out << "+I" << s;
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const SymbolicDuration& d) {
+  return out << d.to_string();
+}
+
+}  // namespace cohls

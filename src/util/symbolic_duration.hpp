@@ -1,0 +1,49 @@
+// Hybrid schedules contain operations whose duration is known only as a
+// minimum; the extra time beyond the minimum is decided at run time by the
+// cyberphysical controller. Totals are therefore *symbolic*: a fixed number
+// of minutes plus one unknown per layer that ends in indeterminate
+// operations. The paper prints these as "277m+I1" (Table 2); this type
+// reproduces that notation and supports exact comparison of the fixed part.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace cohls {
+
+/// A duration of the form `fixed + I_{s1} + I_{s2} + ...` where each `I_k`
+/// is the unknown overrun of the indeterminate operations ending layer `k`.
+class SymbolicDuration {
+ public:
+  SymbolicDuration() = default;
+  explicit SymbolicDuration(Minutes fixed) : fixed_(fixed) {}
+
+  /// The deterministic part of the duration.
+  [[nodiscard]] Minutes fixed() const { return fixed_; }
+
+  /// 1-based indices of layers contributing an unknown overrun, sorted.
+  [[nodiscard]] const std::vector<int>& symbols() const { return symbols_; }
+
+  void add_fixed(Minutes m) { fixed_ += m; }
+
+  /// Records that layer `layer_number` (1-based) ends with indeterminate
+  /// operations and thus contributes an unknown `I_{layer_number}`.
+  void add_symbol(int layer_number);
+
+  SymbolicDuration& operator+=(const SymbolicDuration& other);
+
+  /// "244m+I1+I2" (or just "225m" when fully determinate).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SymbolicDuration&, const SymbolicDuration&) = default;
+  friend std::ostream& operator<<(std::ostream& out, const SymbolicDuration& d);
+
+ private:
+  Minutes fixed_{0};
+  std::vector<int> symbols_;
+};
+
+}  // namespace cohls

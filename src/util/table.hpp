@@ -1,0 +1,34 @@
+// Fixed-width ASCII table writer used by the benchmark harnesses to print
+// Table 2 / Table 3-style result rows.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cohls {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Starts a table whose first row is the header.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a separator line below the header.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cohls

@@ -1,0 +1,25 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cohls {
+
+std::ostream& operator<<(std::ostream& out, Minutes m) {
+  return out << m.count_ << 'm';
+}
+
+std::string format_wallclock(double seconds) {
+  COHLS_EXPECT(seconds >= 0.0, "wall-clock duration must be non-negative");
+  std::ostringstream out;
+  if (seconds < 60.0) {
+    out << std::fixed << std::setprecision(3) << seconds << 's';
+    return out.str();
+  }
+  const auto whole = static_cast<std::int64_t>(seconds);
+  out << whole / 60 << 'm' << whole % 60 << 's';
+  return out.str();
+}
+
+}  // namespace cohls

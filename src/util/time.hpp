@@ -1,0 +1,50 @@
+// Assay time is measured in whole minutes, matching the paper's reporting
+// granularity ("225m"). `Minutes` is a checked arithmetic wrapper; schedule
+// arithmetic never silently mixes minutes with unrelated integers.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace cohls {
+
+/// A duration or time point on the assay clock, in minutes.
+class Minutes {
+ public:
+  constexpr Minutes() = default;
+  constexpr explicit Minutes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+
+  constexpr Minutes& operator+=(Minutes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Minutes& operator-=(Minutes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Minutes operator+(Minutes a, Minutes b) { return Minutes(a.count_ + b.count_); }
+  friend constexpr Minutes operator-(Minutes a, Minutes b) { return Minutes(a.count_ - b.count_); }
+  friend constexpr Minutes operator*(std::int64_t k, Minutes m) { return Minutes(k * m.count_); }
+  friend constexpr auto operator<=>(Minutes, Minutes) = default;
+
+  friend std::ostream& operator<<(std::ostream& out, Minutes m);
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Minutes operator""_min(unsigned long long count) {
+  return Minutes(static_cast<std::int64_t>(count));
+}
+
+/// Renders a wall-clock duration the way the paper's runtime column does:
+/// "5.531s" below a minute, "5m12s" above.
+[[nodiscard]] std::string format_wallclock(double seconds);
+
+}  // namespace cohls

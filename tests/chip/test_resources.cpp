@@ -1,0 +1,123 @@
+#include "chip/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assays/benchmarks.hpp"
+#include "baseline/conventional.hpp"
+#include "core/progressive_resynthesis.hpp"
+
+namespace cohls::chip {
+namespace {
+
+using model::BuiltinAccessory;
+using model::Capacity;
+using model::ContainerKind;
+
+schedule::SynthesisResult single_device_result(const model::DeviceConfig& config,
+                                               model::Assay& assay) {
+  model::OperationSpec spec;
+  spec.name = "op";
+  spec.duration = 10_min;
+  spec.container = config.container;
+  spec.capacity = config.capacity;
+  spec.accessories = config.accessories;
+  const auto op = assay.add_operation(spec);
+  schedule::SynthesisResult result;
+  result.devices = model::DeviceInventory(2);
+  const auto d = result.devices.instantiate(config, LayerId{0});
+  result.layers.push_back({LayerId{0}, {{op, d, 0_min, 10_min, 0_min}}});
+  return result;
+}
+
+TEST(ChipResources, BareChamberCostsTwoValves) {
+  model::Assay assay{"t"};
+  const auto result =
+      single_device_result({ContainerKind::Chamber, Capacity::Tiny, {}}, assay);
+  const ChipResources budget = estimate_resources(result, assay);
+  EXPECT_EQ(budget.flow_valves, 2);
+  EXPECT_EQ(budget.channels, 0);
+  EXPECT_EQ(budget.control_ports_direct, 2);
+}
+
+TEST(ChipResources, RotaryMixerMatchesTheClassicBudget) {
+  // Ring (3) + peristaltic pump (3) = 6 flow valves [8].
+  model::Assay assay{"t"};
+  const auto result = single_device_result(
+      {ContainerKind::Ring, Capacity::Small, {BuiltinAccessory::kPump}}, assay);
+  EXPECT_EQ(estimate_resources(result, assay).flow_valves, 6);
+}
+
+TEST(ChipResources, HeaterAndOpticsAreControlPortsNotValves) {
+  model::Assay assay{"t"};
+  const auto result = single_device_result(
+      {ContainerKind::Chamber, Capacity::Small,
+       {BuiltinAccessory::kHeatingPad, BuiltinAccessory::kOpticalSystem}},
+      assay);
+  const ChipResources budget = estimate_resources(result, assay);
+  EXPECT_EQ(budget.flow_valves, 2);
+  EXPECT_EQ(budget.control_ports_direct, 4);  // 2 valves + heater + optics
+}
+
+TEST(ChipResources, PathsAddChannelGateValves) {
+  model::Assay assay{"t"};
+  model::OperationSpec spec;
+  spec.name = "a";
+  spec.duration = 10_min;
+  const auto a = assay.add_operation(spec);
+  spec.name = "b";
+  spec.parents = {a};
+  const auto b = assay.add_operation(spec);
+  schedule::SynthesisResult result;
+  result.devices = model::DeviceInventory(2);
+  const model::DeviceConfig cfg{ContainerKind::Chamber, Capacity::Tiny, {}};
+  const auto d0 = result.devices.instantiate(cfg, LayerId{0});
+  const auto d1 = result.devices.instantiate(cfg, LayerId{0});
+  result.layers.push_back({LayerId{0},
+                           {{a, d0, 0_min, 10_min, 0_min},
+                            {b, d1, 12_min, 10_min, 0_min}}});
+  const ChipResources budget = estimate_resources(result, assay);
+  EXPECT_EQ(budget.channels, 1);
+  EXPECT_EQ(budget.flow_valves, 2 + 2 + 2);  // two chambers + one gated channel
+}
+
+TEST(ChipResources, MultiplexerBeatsDirectDriveOnRealChips) {
+  const model::Assay assay = assays::gene_expression_assay();
+  core::SynthesisOptions options;
+  options.max_devices = 25;
+  const auto report = core::synthesize(assay, options);
+  const ChipResources budget = estimate_resources(report.result, assay);
+  EXPECT_GT(budget.flow_valves, 0);
+  EXPECT_LT(budget.control_ports_multiplexed, budget.control_ports_direct);
+}
+
+TEST(ChipResources, ComponentOrientedNeedsNoMoreValvesThanConventional) {
+  const model::Assay assay = assays::kinase_activity_assay();
+  core::SynthesisOptions options;
+  options.max_devices = 25;
+  const auto ours = core::synthesize(assay, options);
+  const auto conv = baseline::synthesize_conventional(assay, options);
+  EXPECT_LE(estimate_resources(ours.result, assay).flow_valves,
+            estimate_resources(conv.result, assay).flow_valves);
+}
+
+TEST(ChipResources, CustomAccessoriesCountConfiguredValves) {
+  model::AccessoryRegistry registry;
+  const auto sorter = registry.register_accessory("droplet sorter", 3.0);
+  model::Assay assay("t", registry);
+  model::OperationSpec spec;
+  spec.name = "sort";
+  spec.duration = 10_min;
+  spec.accessories = {sorter};
+  const auto op = assay.add_operation(spec);
+  schedule::SynthesisResult result;
+  result.devices = model::DeviceInventory(1);
+  const auto d = result.devices.instantiate(
+      {ContainerKind::Chamber, Capacity::Tiny, {sorter}}, LayerId{0});
+  result.layers.push_back({LayerId{0}, {{op, d, 0_min, 10_min, 0_min}}});
+  ValveModel valves;
+  valves.valves_per_custom_accessory = 4;
+  EXPECT_EQ(estimate_resources(result, assay, valves).flow_valves, 2 + 4);
+}
+
+}  // namespace
+}  // namespace cohls::chip

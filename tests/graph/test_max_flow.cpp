@@ -1,0 +1,157 @@
+#include "graph/max_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace cohls::graph {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  FlowNetwork net{2};
+  net.add_arc(0, 1, 5);
+  const auto cut = net.min_cut(0, 1);
+  EXPECT_EQ(cut.value, 5);
+  EXPECT_TRUE(cut.source_side[0]);
+  EXPECT_FALSE(cut.source_side[1]);
+  ASSERT_EQ(cut.cut_arcs.size(), 1u);
+}
+
+TEST(MaxFlow, NoPathMeansZeroFlow) {
+  FlowNetwork net{3};
+  net.add_arc(0, 1, 4);  // 2 is unreachable
+  const auto cut = net.min_cut(0, 2);
+  EXPECT_EQ(cut.value, 0);
+  EXPECT_TRUE(cut.cut_arcs.empty());
+}
+
+TEST(MaxFlow, SeriesTakesBottleneck) {
+  FlowNetwork net{3};
+  net.add_arc(0, 1, 7);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(net.min_cut(0, 2).value, 3);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork net{4};
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 3, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.min_cut(0, 3).value, 5);
+}
+
+TEST(MaxFlow, ClassicCrossNetwork) {
+  // CLRS-style example with a cross edge.
+  FlowNetwork net{6};
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  EXPECT_EQ(net.min_cut(0, 5).value, 23);
+}
+
+TEST(MaxFlow, CutArcsCapacitySumsToFlowValue) {
+  FlowNetwork net{6};
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 3, 12);
+  net.add_arc(2, 4, 14);
+  net.add_arc(3, 2, 9);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  const auto cut = net.min_cut(0, 5);
+  std::int64_t cut_capacity = 0;
+  for (const auto handle : cut.cut_arcs) {
+    cut_capacity += net.arc(handle).capacity;
+  }
+  EXPECT_EQ(cut_capacity, cut.value);
+}
+
+TEST(MaxFlow, InfiniteArcsNeverEnterTheCut) {
+  FlowNetwork net{4};
+  net.add_arc(0, 1, FlowNetwork::kInfinite);
+  net.add_arc(1, 2, 1);
+  net.add_arc(2, 3, FlowNetwork::kInfinite);
+  const auto cut = net.min_cut(0, 3);
+  EXPECT_EQ(cut.value, 1);
+  ASSERT_EQ(cut.cut_arcs.size(), 1u);
+  const auto info = net.arc(cut.cut_arcs[0]);
+  EXPECT_EQ(info.from, 1u);
+  EXPECT_EQ(info.to, 2u);
+}
+
+TEST(MaxFlow, ArcInfoReportsFlow) {
+  FlowNetwork net{2};
+  const auto h = net.add_arc(0, 1, 9);
+  (void)net.min_cut(0, 1);
+  const auto info = net.arc(h);
+  EXPECT_EQ(info.flow, 9);
+  EXPECT_EQ(info.capacity, 9);
+}
+
+TEST(MaxFlow, RejectsBadArcs) {
+  FlowNetwork net{2};
+  EXPECT_THROW(net.add_arc(0, 0, 1), PreconditionError);
+  EXPECT_THROW(net.add_arc(0, 5, 1), PreconditionError);
+  EXPECT_THROW(net.add_arc(0, 1, -1), PreconditionError);
+  EXPECT_THROW(net.min_cut(0, 0), PreconditionError);
+}
+
+// Property: flow conservation holds at every interior node, and the cut's
+// crossing capacity equals the flow value (max-flow min-cut theorem), on
+// random networks.
+class RandomFlowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFlowProperty, ConservationAndDuality) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 13};
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+  FlowNetwork net{n};
+  std::vector<FlowNetwork::ArcInfo> infos;
+  std::vector<std::size_t> handles;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.3)) {
+        handles.push_back(net.add_arc(i, j, rng.uniform_int(0, 10)));
+      }
+    }
+  }
+  const std::size_t source = 0;
+  const std::size_t sink = n - 1;
+  const auto cut = net.min_cut(source, sink);
+
+  std::vector<std::int64_t> net_out(n, 0);
+  std::int64_t cut_capacity = 0;
+  for (const auto h : handles) {
+    const auto info = net.arc(h);
+    EXPECT_GE(info.flow, 0);
+    EXPECT_LE(info.flow, info.capacity);
+    net_out[info.from] += info.flow;
+    net_out[info.to] -= info.flow;
+    if (cut.source_side[info.from] && !cut.source_side[info.to]) {
+      cut_capacity += info.capacity;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == source || v == sink) {
+      continue;
+    }
+    EXPECT_EQ(net_out[v], 0) << "conservation violated at " << v;
+  }
+  EXPECT_EQ(net_out[source], cut.value);
+  EXPECT_EQ(cut_capacity, cut.value) << "max-flow != min-cut";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace cohls::graph

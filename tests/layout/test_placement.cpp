@@ -1,0 +1,151 @@
+#include "layout/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assays/benchmarks.hpp"
+#include "core/progressive_resynthesis.hpp"
+
+namespace cohls::layout {
+namespace {
+
+struct Fixture {
+  model::Assay assay = assays::gene_expression_assay(4);
+  core::SynthesisReport report;
+
+  Fixture() {
+    core::SynthesisOptions options;
+    options.max_devices = 15;
+    options.layering.indeterminate_threshold = 4;
+    report = core::synthesize(assay, options);
+  }
+};
+
+TEST(Placement, ValidatesItsInvariants) {
+  EXPECT_THROW(Placement({DeviceId{0}}, {}, 1), PreconditionError);
+  EXPECT_THROW(Placement({DeviceId{0}}, {GridPosition{1, 0}}, 1), PreconditionError);
+  EXPECT_THROW(Placement({DeviceId{0}, DeviceId{1}},
+                         {GridPosition{0, 0}, GridPosition{0, 0}}, 2),
+               PreconditionError);
+}
+
+TEST(Placement, DistanceIsManhattan) {
+  const Placement p({DeviceId{0}, DeviceId{1}}, {GridPosition{0, 0}, GridPosition{2, 3}},
+                    4);
+  EXPECT_EQ(p.distance(DeviceId{0}, DeviceId{1}), 5);
+  EXPECT_EQ(p.distance(DeviceId{1}, DeviceId{0}), 5);
+  EXPECT_EQ(p.distance(DeviceId{0}, DeviceId{0}), 0);
+}
+
+TEST(Placement, UnplacedDeviceThrows) {
+  const Placement p({DeviceId{0}}, {GridPosition{0, 0}}, 1);
+  EXPECT_THROW((void)p.position(DeviceId{9}), PreconditionError);
+}
+
+TEST(Placement, AsciiRendersDevicesAndEmptyCells) {
+  const Placement p({DeviceId{0}, DeviceId{11}},
+                    {GridPosition{0, 0}, GridPosition{1, 1}}, 2);
+  EXPECT_EQ(p.to_ascii(), "0.\n.b\n");
+}
+
+TEST(PathUsage, CountsTransfersPerDevicePair) {
+  const Fixture f;
+  const auto usage = path_usage(f.report.result, f.assay);
+  int total = 0;
+  for (const auto& [path, count] : usage) {
+    EXPECT_NE(path.first, path.second);
+    EXPECT_GT(count, 0);
+    total += count;
+  }
+  // Total transfers = number of dependency edges whose endpoints sit on
+  // different devices.
+  const auto binding = f.report.result.binding();
+  int expected = 0;
+  for (const auto& op : f.assay.operations()) {
+    for (const auto child : f.assay.children(op.id())) {
+      if (binding.at(op.id()) != binding.at(child)) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(PlaceDevices, DeterministicForFixedSeed) {
+  const Fixture f;
+  PlacementOptions options;
+  options.seed = 5;
+  const Placement a = place_devices(f.report.result, f.assay, options);
+  const Placement b = place_devices(f.report.result, f.assay, options);
+  for (const DeviceId d : a.devices()) {
+    EXPECT_EQ(a.position(d), b.position(d));
+  }
+}
+
+TEST(PlaceDevices, PlacesExactlyTheUsedDevices) {
+  const Fixture f;
+  const Placement p = place_devices(f.report.result, f.assay);
+  EXPECT_EQ(static_cast<int>(p.devices().size()),
+            f.report.result.used_device_count());
+}
+
+TEST(PlaceDevices, AnnealingBeatsOrMatchesTheIdentityLayout) {
+  const Fixture f;
+  const auto usage = path_usage(f.report.result, f.assay);
+  PlacementOptions options;
+  const Placement annealed = place_devices(f.report.result, f.assay, options);
+  // Identity layout: devices in row-major order of their ids.
+  PlacementOptions no_anneal = options;
+  no_anneal.sweeps = 0;
+  const Placement identity = place_devices(f.report.result, f.assay, no_anneal);
+  EXPECT_LE(annealed.wirelength(usage), identity.wirelength(usage));
+}
+
+TEST(PlaceDevices, HonorsExplicitGridWidth) {
+  const Fixture f;
+  PlacementOptions options;
+  options.grid_width = 8;
+  const Placement p = place_devices(f.report.result, f.assay, options);
+  EXPECT_EQ(p.grid_width(), 8);
+}
+
+TEST(PlaceDevices, RejectsTooSmallGrid) {
+  const Fixture f;
+  PlacementOptions options;
+  options.grid_width = 1;
+  EXPECT_THROW((void)place_devices(f.report.result, f.assay, options),
+               PreconditionError);
+}
+
+TEST(PlaceDevices, CommunicatingPairsEndUpClose) {
+  // Star topology: device 0 talks to everyone; after annealing its average
+  // distance to the others should not exceed the grid's average pair
+  // distance.
+  const Fixture f;
+  const auto usage = path_usage(f.report.result, f.assay);
+  if (usage.empty()) {
+    GTEST_SKIP() << "fully co-located result";
+  }
+  const Placement p = place_devices(f.report.result, f.assay);
+  double used_distance = 0.0;
+  int used_pairs = 0;
+  for (const auto& [path, count] : usage) {
+    (void)count;
+    used_distance += p.distance(path.first, path.second);
+    ++used_pairs;
+  }
+  double all_distance = 0.0;
+  int all_pairs = 0;
+  for (std::size_t i = 0; i < p.devices().size(); ++i) {
+    for (std::size_t j = i + 1; j < p.devices().size(); ++j) {
+      all_distance += p.distance(p.devices()[i], p.devices()[j]);
+      ++all_pairs;
+    }
+  }
+  if (all_pairs == used_pairs) {
+    GTEST_SKIP() << "every pair communicates";
+  }
+  EXPECT_LE(used_distance / used_pairs, all_distance / all_pairs + 1e-9);
+}
+
+}  // namespace
+}  // namespace cohls::layout

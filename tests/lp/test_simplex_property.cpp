@@ -1,0 +1,118 @@
+// Property tests for the bounded-variable simplex. The native-bounds solve
+// is cross-validated against a reformulated model where every finite bound
+// becomes an explicit row and all variables are free — the two formulations
+// exercise disjoint code paths (bound flips vs. phase-1 rows) and must agree
+// on status and objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace cohls::lp {
+namespace {
+
+struct RandomLp {
+  LpModel model;
+};
+
+RandomLp make_random_lp(std::uint64_t seed) {
+  Rng rng{seed};
+  RandomLp out;
+  const int n = static_cast<int>(rng.uniform_int(1, 6));
+  const int m = static_cast<int>(rng.uniform_int(0, 6));
+  for (int j = 0; j < n; ++j) {
+    const double lb = static_cast<double>(rng.uniform_int(-5, 2));
+    const double ub = lb + static_cast<double>(rng.uniform_int(0, 8));
+    const double c = static_cast<double>(rng.uniform_int(-4, 4));
+    out.model.add_variable(lb, ub, c);
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      const auto coef = rng.uniform_int(-3, 3);
+      if (coef != 0) {
+        terms.emplace_back(j, static_cast<double>(coef));
+      }
+    }
+    const auto sense_draw = rng.uniform_int(0, 2);
+    const auto sense = sense_draw == 0   ? RowSense::LessEqual
+                       : sense_draw == 1 ? RowSense::GreaterEqual
+                                         : RowSense::Equal;
+    out.model.add_constraint(std::move(terms), sense,
+                             static_cast<double>(rng.uniform_int(-10, 10)));
+  }
+  return out;
+}
+
+/// Reformulates: every variable becomes free; bounds become explicit rows.
+LpModel bounds_as_rows(const LpModel& original) {
+  LpModel m;
+  for (Col c = 0; c < original.variable_count(); ++c) {
+    m.add_variable(-kInfinity, kInfinity, original.objective_coefficient(c));
+  }
+  for (Col c = 0; c < original.variable_count(); ++c) {
+    if (std::isfinite(original.lower_bound(c))) {
+      m.add_constraint({{c, 1.0}}, RowSense::GreaterEqual, original.lower_bound(c));
+    }
+    if (std::isfinite(original.upper_bound(c))) {
+      m.add_constraint({{c, 1.0}}, RowSense::LessEqual, original.upper_bound(c));
+    }
+  }
+  for (Row r = 0; r < original.constraint_count(); ++r) {
+    m.add_constraint(original.row_terms(r), original.row_sense(r), original.row_rhs(r));
+  }
+  return m;
+}
+
+class SimplexCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexCrossValidation, NativeBoundsAgreeWithBoundRows) {
+  const auto instance = make_random_lp(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const auto native = solve_lp(instance.model);
+  const auto rows = solve_lp(bounds_as_rows(instance.model));
+  ASSERT_NE(native.status, LpStatus::IterationLimit);
+  ASSERT_NE(rows.status, LpStatus::IterationLimit);
+  EXPECT_EQ(native.status, rows.status);
+  if (native.status == LpStatus::Optimal) {
+    EXPECT_NEAR(native.objective, rows.objective, 1e-5);
+    EXPECT_TRUE(instance.model.is_feasible(native.values, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexCrossValidation, ::testing::Range(0, 120));
+
+// Property: no random feasible point beats the reported optimum.
+class SimplexOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexOptimality, RandomFeasiblePointsNeverBeatOptimum) {
+  const auto instance = make_random_lp(static_cast<std::uint64_t>(GetParam()) * 65537 + 3);
+  const auto sol = solve_lp(instance.model);
+  if (sol.status != LpStatus::Optimal) {
+    return;  // covered by cross-validation suite
+  }
+  Rng rng{static_cast<std::uint64_t>(GetParam()) + 99};
+  const auto& m = instance.model;
+  int tested = 0;
+  for (int trial = 0; trial < 2000 && tested < 200; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(m.variable_count()));
+    for (Col c = 0; c < m.variable_count(); ++c) {
+      const double lo = m.lower_bound(c);
+      const double hi = m.upper_bound(c);
+      x[static_cast<std::size_t>(c)] = lo + (hi - lo) * rng.uniform_double();
+    }
+    if (!m.is_feasible(x, 1e-9)) {
+      continue;
+    }
+    ++tested;
+    EXPECT_GE(m.objective_value(x), sol.objective - 1e-6)
+        << "sampled feasible point beats the 'optimal' objective";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexOptimality, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace cohls::lp

@@ -1,0 +1,49 @@
+#include "milp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls::milp {
+namespace {
+
+TEST(MilpModel, TracksVariableKinds) {
+  MilpModel m;
+  const auto x = m.add_variable(VarKind::Continuous, 0, 10, 1.0);
+  const auto y = m.add_variable(VarKind::Integer, 0, 10, 1.0);
+  const auto z = m.add_binary(1.0);
+  EXPECT_FALSE(m.is_integer(x));
+  EXPECT_TRUE(m.is_integer(y));
+  EXPECT_TRUE(m.is_integer(z));
+  EXPECT_EQ(m.kind(z), VarKind::Binary);
+  EXPECT_EQ(m.variable_count(), 3);
+}
+
+TEST(MilpModel, BinaryBoundsEnforced) {
+  MilpModel m;
+  EXPECT_THROW(m.add_variable(VarKind::Binary, 0, 2, 0.0), PreconditionError);
+  EXPECT_THROW(m.add_variable(VarKind::Binary, -1, 1, 0.0), PreconditionError);
+}
+
+TEST(MilpModel, FeasibilityRequiresIntegrality) {
+  MilpModel m;
+  const auto x = m.add_variable(VarKind::Integer, 0, 10, 0.0);
+  m.add_constraint({{x, 1.0}}, lp::RowSense::LessEqual, 9.0);
+  EXPECT_TRUE(m.is_feasible({3.0}));
+  EXPECT_FALSE(m.is_feasible({3.5}));
+  EXPECT_FALSE(m.is_feasible({9.5}));
+}
+
+TEST(MilpModel, ContinuousColumnsMayBeFractional) {
+  MilpModel m;
+  m.add_variable(VarKind::Continuous, 0, 10, 0.0);
+  EXPECT_TRUE(m.is_feasible({3.5}));
+}
+
+TEST(MilpModel, ConstraintCountForwards) {
+  MilpModel m;
+  const auto x = m.add_binary(0.0);
+  m.add_constraint({{x, 1.0}}, lp::RowSense::LessEqual, 1.0);
+  EXPECT_EQ(m.constraint_count(), 1);
+}
+
+}  // namespace
+}  // namespace cohls::milp

@@ -1,0 +1,124 @@
+// Property tests: branch-and-bound is cross-validated against exhaustive
+// enumeration of the integer grid on random small pure-integer programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "milp/branch_and_bound.hpp"
+#include "milp/model.hpp"
+#include "util/rng.hpp"
+
+namespace cohls::milp {
+namespace {
+
+struct RandomMilp {
+  MilpModel model;
+  std::vector<int> lower;
+  std::vector<int> upper;
+};
+
+RandomMilp make_random_milp(std::uint64_t seed) {
+  Rng rng{seed};
+  RandomMilp out;
+  const int n = static_cast<int>(rng.uniform_int(1, 4));
+  for (int j = 0; j < n; ++j) {
+    const int lb = static_cast<int>(rng.uniform_int(-2, 1));
+    const int ub = lb + static_cast<int>(rng.uniform_int(0, 4));
+    out.lower.push_back(lb);
+    out.upper.push_back(ub);
+    out.model.add_variable(VarKind::Integer, lb, ub,
+                           static_cast<double>(rng.uniform_int(-5, 5)));
+  }
+  const int m = static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < m; ++i) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      const auto coef = rng.uniform_int(-3, 3);
+      if (coef != 0) {
+        terms.emplace_back(j, static_cast<double>(coef));
+      }
+    }
+    const auto sense_draw = rng.uniform_int(0, 2);
+    const auto sense = sense_draw == 0   ? lp::RowSense::LessEqual
+                       : sense_draw == 1 ? lp::RowSense::GreaterEqual
+                                         : lp::RowSense::Equal;
+    out.model.add_constraint(std::move(terms), sense,
+                             static_cast<double>(rng.uniform_int(-8, 8)));
+  }
+  return out;
+}
+
+/// Exhaustively enumerates the integer box and returns the best feasible
+/// objective, if any.
+std::optional<double> brute_force(const RandomMilp& instance) {
+  const auto& m = instance.model;
+  const int n = m.variable_count();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::optional<double> best;
+  std::vector<int> cursor(instance.lower.begin(), instance.lower.end());
+  while (true) {
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(j)] = cursor[static_cast<std::size_t>(j)];
+    }
+    if (m.lp().is_feasible(x, 1e-9)) {
+      const double v = m.lp().objective_value(x);
+      if (!best || v < *best) {
+        best = v;
+      }
+    }
+    int j = 0;
+    while (j < n) {
+      if (++cursor[static_cast<std::size_t>(j)] <= instance.upper[static_cast<std::size_t>(j)]) {
+        break;
+      }
+      cursor[static_cast<std::size_t>(j)] = instance.lower[static_cast<std::size_t>(j)];
+      ++j;
+    }
+    if (j == n) {
+      break;
+    }
+  }
+  return best;
+}
+
+class MilpBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpBruteForce, MatchesExhaustiveEnumeration) {
+  const auto instance = make_random_milp(static_cast<std::uint64_t>(GetParam()) * 31337 + 17);
+  const auto expected = brute_force(instance);
+  const auto sol = solve_milp(instance.model);
+  if (expected.has_value()) {
+    ASSERT_EQ(sol.status, MilpStatus::Optimal)
+        << "brute force found " << *expected << " but solver says "
+        << to_string(sol.status);
+    EXPECT_NEAR(sol.objective, *expected, 1e-6);
+    EXPECT_TRUE(instance.model.is_feasible(sol.values, 1e-5));
+  } else {
+    EXPECT_EQ(sol.status, MilpStatus::Infeasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpBruteForce, ::testing::Range(0, 150));
+
+// Property: the incumbent of a limited search is never better than the true
+// optimum (soundness under limits).
+class MilpLimitedSearch : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpLimitedSearch, IncumbentIsSoundUnderNodeLimit) {
+  const auto instance = make_random_milp(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const auto expected = brute_force(instance);
+  MilpOptions opts;
+  opts.max_nodes = 3;
+  const auto sol = solve_milp(instance.model, opts);
+  if (sol.status == MilpStatus::Optimal || sol.status == MilpStatus::Feasible) {
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_GE(sol.objective, *expected - 1e-6);
+    EXPECT_TRUE(instance.model.is_feasible(sol.values, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpLimitedSearch, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace cohls::milp

@@ -1,0 +1,98 @@
+#include "model/assay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls::model {
+namespace {
+
+OperationSpec op(const std::string& name, std::vector<OperationId> parents = {},
+                 bool indeterminate = false) {
+  OperationSpec spec;
+  spec.name = name;
+  spec.duration = 10_min;
+  spec.indeterminate = indeterminate;
+  spec.parents = std::move(parents);
+  return spec;
+}
+
+TEST(Assay, AddOperationsBuildsGraph) {
+  Assay assay("test");
+  const auto a = assay.add_operation(op("a"));
+  const auto b = assay.add_operation(op("b", {a}));
+  const auto c = assay.add_operation(op("c", {a, b}));
+  EXPECT_EQ(assay.operation_count(), 3);
+  EXPECT_EQ(assay.operation(b).parents(), std::vector<OperationId>{a});
+  EXPECT_EQ(assay.children(a), (std::vector<OperationId>{b, c}));
+  EXPECT_EQ(assay.children(c).size(), 0u);
+  EXPECT_EQ(assay.dependency_graph().edge_count(), 3u);
+}
+
+TEST(Assay, ParentsMustExistFirst) {
+  Assay assay("test");
+  EXPECT_THROW(assay.add_operation(op("x", {OperationId{0}})), PreconditionError);
+  const auto a = assay.add_operation(op("a"));
+  (void)a;
+  EXPECT_THROW(assay.add_operation(op("y", {OperationId{5}})), PreconditionError);
+}
+
+TEST(Assay, SelfParentImpossible) {
+  Assay assay("test");
+  // The would-be operation's own id equals operation_count(); using it as a
+  // parent is rejected, so cycles cannot be constructed.
+  EXPECT_THROW(assay.add_operation(op("a", {OperationId{0}})), PreconditionError);
+}
+
+TEST(Assay, IndeterminateQueries) {
+  Assay assay("test");
+  (void)assay.add_operation(op("a"));
+  const auto b = assay.add_operation(op("b", {}, true));
+  const auto c = assay.add_operation(op("c", {}, true));
+  EXPECT_EQ(assay.indeterminate_count(), 2);
+  EXPECT_EQ(assay.indeterminate_operations(), (std::vector<OperationId>{b, c}));
+}
+
+TEST(Assay, RejectsUnregisteredAccessory) {
+  Assay assay("test");
+  OperationSpec spec = op("a");
+  spec.accessories.insert(BuiltinAccessory::kCount);  // one past the built-ins
+  EXPECT_THROW(assay.add_operation(spec), PreconditionError);
+}
+
+TEST(Assay, CustomRegistryAllowsExtendedAccessories) {
+  AccessoryRegistry registry;
+  const AccessoryId extra = registry.register_accessory("magnet", 2.0);
+  Assay assay("test", registry);
+  OperationSpec spec = op("a");
+  spec.accessories.insert(extra);
+  EXPECT_NO_THROW(assay.add_operation(spec));
+}
+
+TEST(Assay, UnknownOperationThrows) {
+  Assay assay("test");
+  EXPECT_THROW((void)assay.operation(OperationId{0}), PreconditionError);
+  EXPECT_THROW((void)assay.children(OperationId{3}), PreconditionError);
+}
+
+TEST(Assay, RejectsEmptyName) {
+  EXPECT_THROW(Assay{""}, PreconditionError);
+}
+
+TEST(Assay, GraphIsAlwaysAcyclicByConstruction) {
+  Assay assay("test");
+  const auto a = assay.add_operation(op("a"));
+  const auto b = assay.add_operation(op("b", {a}));
+  (void)assay.add_operation(op("c", {b}));
+  // Topological order exists for any constructible assay.
+  const auto& g = assay.dependency_graph();
+  std::size_t edges = 0;
+  for (graph::NodeIndex n = 0; n < g.node_count(); ++n) {
+    for (const auto s : g.successors(n)) {
+      EXPECT_GT(s, n) << "edges must go from lower to higher ids";
+      ++edges;
+    }
+  }
+  EXPECT_EQ(edges, g.edge_count());
+}
+
+}  // namespace
+}  // namespace cohls::model

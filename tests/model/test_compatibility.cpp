@@ -1,0 +1,112 @@
+#include "model/compatibility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls::model {
+namespace {
+
+Operation make_op(std::optional<ContainerKind> container, std::optional<Capacity> capacity,
+                  AccessorySet accessories) {
+  OperationSpec spec;
+  spec.name = "op";
+  spec.duration = 10_min;
+  spec.container = container;
+  spec.capacity = capacity;
+  spec.accessories = accessories;
+  return Operation(OperationId{0}, spec);
+}
+
+TEST(Compatibility, ContainerMustMatchWhenSpecified) {
+  const auto op = make_op(ContainerKind::Ring, std::nullopt, {});
+  EXPECT_TRUE(is_compatible(op, {ContainerKind::Ring, Capacity::Small, {}}));
+  EXPECT_FALSE(is_compatible(op, {ContainerKind::Chamber, Capacity::Small, {}}));
+}
+
+TEST(Compatibility, UnspecifiedContainerBindsToEither) {
+  const auto op = make_op(std::nullopt, std::nullopt, {});
+  EXPECT_TRUE(is_compatible(op, {ContainerKind::Ring, Capacity::Medium, {}}));
+  EXPECT_TRUE(is_compatible(op, {ContainerKind::Chamber, Capacity::Tiny, {}}));
+}
+
+TEST(Compatibility, CapacityMustMatchWhenSpecified) {
+  const auto op = make_op(std::nullopt, Capacity::Medium, {});
+  EXPECT_TRUE(is_compatible(op, {ContainerKind::Chamber, Capacity::Medium, {}}));
+  EXPECT_FALSE(is_compatible(op, {ContainerKind::Chamber, Capacity::Small, {}}));
+}
+
+TEST(Compatibility, AccessoriesAreASubsetRequirement) {
+  const auto op = make_op(std::nullopt, std::nullopt, {BuiltinAccessory::kSieveValve});
+  EXPECT_TRUE(is_compatible(
+      op, {ContainerKind::Chamber, Capacity::Tiny,
+           {BuiltinAccessory::kSieveValve, BuiltinAccessory::kPump}}));
+  EXPECT_FALSE(is_compatible(op, {ContainerKind::Chamber, Capacity::Tiny,
+                                  {BuiltinAccessory::kPump}}));
+}
+
+TEST(Compatibility, InvalidConfigNeverBinds) {
+  const auto op = make_op(std::nullopt, std::nullopt, {});
+  EXPECT_FALSE(is_compatible(op, {ContainerKind::Ring, Capacity::Tiny, {}}));
+}
+
+TEST(Compatibility, SubsumptionMatchesPaperExample) {
+  // Sec. 3.2: C_{o1} = {ring}, A_{o1} = {sieve valve, pump};
+  //           C_{o2} = {},     A_{o2} = {sieve valve}.
+  const auto o1 = make_op(ContainerKind::Ring, std::nullopt,
+                          {BuiltinAccessory::kSieveValve, BuiltinAccessory::kPump});
+  const auto o2 = make_op(std::nullopt, std::nullopt, {BuiltinAccessory::kSieveValve});
+  EXPECT_TRUE(requirements_subsume(o1, o2));   // o2 runs on o1's device
+  EXPECT_FALSE(requirements_subsume(o2, o1));  // but not vice versa
+}
+
+TEST(Compatibility, SubsumptionIsReflexive) {
+  const auto op = make_op(ContainerKind::Chamber, Capacity::Small,
+                          {BuiltinAccessory::kHeatingPad});
+  EXPECT_TRUE(requirements_subsume(op, op));
+}
+
+TEST(Compatibility, AdmissibleConfigsRespectEveryRequirement) {
+  const auto op = make_op(ContainerKind::Ring, std::nullopt, {BuiltinAccessory::kPump});
+  const auto configs = admissible_configs(op);
+  ASSERT_EQ(configs.size(), 3u);  // ring: small, medium, large
+  for (const auto& config : configs) {
+    EXPECT_TRUE(is_compatible(op, config));
+    EXPECT_EQ(config.container, ContainerKind::Ring);
+  }
+}
+
+TEST(Compatibility, AdmissibleConfigsUnconstrainedOp) {
+  const auto op = make_op(std::nullopt, std::nullopt, {});
+  // 3 ring capacities + 3 chamber capacities.
+  EXPECT_EQ(admissible_configs(op).size(), 6u);
+}
+
+TEST(Compatibility, MinimalConfigIsCheapestAdmissible) {
+  const CostModel costs;
+  const AccessoryRegistry registry;
+  const auto op = make_op(std::nullopt, std::nullopt, {BuiltinAccessory::kHeatingPad});
+  const DeviceConfig config = minimal_config(op, costs, registry);
+  // Chamber/tiny is the cheapest container under the default cost model.
+  EXPECT_EQ(config.container, ContainerKind::Chamber);
+  EXPECT_EQ(config.capacity, Capacity::Tiny);
+  EXPECT_TRUE(config.accessories.contains(BuiltinAccessory::kHeatingPad));
+}
+
+TEST(Compatibility, MinimalConfigHonorsCapacity) {
+  const CostModel costs;
+  const AccessoryRegistry registry;
+  const auto op = make_op(std::nullopt, Capacity::Large, {});
+  const DeviceConfig config = minimal_config(op, costs, registry);
+  EXPECT_EQ(config.container, ContainerKind::Ring);  // only rings go large
+  EXPECT_EQ(config.capacity, Capacity::Large);
+}
+
+TEST(Compatibility, SignatureDistinguishesRequirementClasses) {
+  const auto a = make_op(ContainerKind::Ring, std::nullopt, {BuiltinAccessory::kPump});
+  const auto b = make_op(std::nullopt, std::nullopt, {BuiltinAccessory::kPump});
+  const auto c = make_op(ContainerKind::Ring, std::nullopt, {BuiltinAccessory::kPump});
+  EXPECT_EQ(signature_of(a), signature_of(c));
+  EXPECT_NE(signature_of(a), signature_of(b));
+}
+
+}  // namespace
+}  // namespace cohls::model

@@ -1,0 +1,86 @@
+#include "model/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls::model {
+namespace {
+
+TEST(DeviceConfig, ValidityFollowsCapacityRules) {
+  EXPECT_TRUE((DeviceConfig{ContainerKind::Ring, Capacity::Large, {}}.valid()));
+  EXPECT_FALSE((DeviceConfig{ContainerKind::Ring, Capacity::Tiny, {}}.valid()));
+  EXPECT_TRUE((DeviceConfig{ContainerKind::Chamber, Capacity::Tiny, {}}.valid()));
+  EXPECT_FALSE((DeviceConfig{ContainerKind::Chamber, Capacity::Large, {}}.valid()));
+}
+
+TEST(DeviceConfig, CostHelpers) {
+  const CostModel costs;
+  const AccessoryRegistry registry;
+  const DeviceConfig config{ContainerKind::Ring, Capacity::Small,
+                            {BuiltinAccessory::kPump}};
+  EXPECT_DOUBLE_EQ(device_area(config, costs), costs.area(ContainerKind::Ring, Capacity::Small));
+  EXPECT_DOUBLE_EQ(device_processing(config, costs, registry),
+                   costs.container_processing(ContainerKind::Ring, Capacity::Small) +
+                       registry.processing_cost(BuiltinAccessory::kPump));
+}
+
+TEST(DeviceInventory, InstantiateAssignsSequentialIds) {
+  DeviceInventory inventory(3);
+  const DeviceConfig config{ContainerKind::Chamber, Capacity::Tiny, {}};
+  EXPECT_EQ(inventory.instantiate(config, LayerId{0}), DeviceId{0});
+  EXPECT_EQ(inventory.instantiate(config, LayerId{1}), DeviceId{1});
+  EXPECT_EQ(inventory.size(), 2);
+  EXPECT_FALSE(inventory.full());
+}
+
+TEST(DeviceInventory, EnforcesMaxDevices) {
+  DeviceInventory inventory(1);
+  const DeviceConfig config{ContainerKind::Chamber, Capacity::Tiny, {}};
+  (void)inventory.instantiate(config, LayerId{0});
+  EXPECT_TRUE(inventory.full());
+  EXPECT_THROW(inventory.instantiate(config, LayerId{0}), InfeasibleError);
+}
+
+TEST(DeviceInventory, RejectsInvalidConfig) {
+  DeviceInventory inventory(2);
+  EXPECT_THROW(
+      inventory.instantiate(DeviceConfig{ContainerKind::Ring, Capacity::Tiny, {}}, LayerId{0}),
+      PreconditionError);
+}
+
+TEST(DeviceInventory, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(DeviceInventory{0}, PreconditionError);
+}
+
+TEST(DeviceInventory, TracksCreatorLayer) {
+  DeviceInventory inventory(4);
+  const DeviceConfig config{ContainerKind::Chamber, Capacity::Tiny, {}};
+  (void)inventory.instantiate(config, LayerId{0});
+  const DeviceId d1 = inventory.instantiate(config, LayerId{1});
+  const DeviceId d2 = inventory.instantiate(config, LayerId{1});
+  const auto layer1 = inventory.created_in_layer(LayerId{1});
+  ASSERT_EQ(layer1.size(), 2u);
+  EXPECT_EQ(layer1[0], d1);
+  EXPECT_EQ(layer1[1], d2);
+  EXPECT_EQ(inventory.created_in_layer(LayerId{2}).size(), 0u);
+}
+
+TEST(DeviceInventory, TotalsSumOverDevices) {
+  const CostModel costs;
+  const AccessoryRegistry registry;
+  DeviceInventory inventory(4);
+  const DeviceConfig a{ContainerKind::Chamber, Capacity::Tiny, {}};
+  const DeviceConfig b{ContainerKind::Ring, Capacity::Small, {BuiltinAccessory::kPump}};
+  (void)inventory.instantiate(a, LayerId{0});
+  (void)inventory.instantiate(b, LayerId{0});
+  EXPECT_DOUBLE_EQ(inventory.total_area(costs), device_area(a, costs) + device_area(b, costs));
+  EXPECT_DOUBLE_EQ(inventory.total_processing(costs, registry),
+                   device_processing(a, costs, registry) + device_processing(b, costs, registry));
+}
+
+TEST(DeviceInventory, UnknownDeviceThrows) {
+  DeviceInventory inventory(2);
+  EXPECT_THROW((void)inventory.device(DeviceId{0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cohls::model

@@ -1,0 +1,318 @@
+#include "schedule/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assays/random_assay.hpp"
+#include "schedule/validate.hpp"
+
+namespace cohls::schedule {
+namespace {
+
+using model::BuiltinAccessory;
+using model::Capacity;
+using model::ContainerKind;
+
+OperationId add_op(model::Assay& assay, const std::string& name, Minutes duration,
+                   std::vector<OperationId> parents = {},
+                   model::AccessorySet accessories = {}, bool indeterminate = false) {
+  model::OperationSpec spec;
+  spec.name = name;
+  spec.duration = duration;
+  spec.parents = std::move(parents);
+  spec.accessories = accessories;
+  spec.indeterminate = indeterminate;
+  return assay.add_operation(spec);
+}
+
+SynthesisResult wrap(const model::Assay& assay, LayerResult layer,
+                     model::DeviceInventory inventory) {
+  SynthesisResult result;
+  result.layers.push_back(std::move(layer.schedule));
+  result.devices = std::move(inventory);
+  (void)assay;
+  return result;
+}
+
+TEST(ListScheduler, SingleOpGetsADevice) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min);
+  model::DeviceInventory inventory(3);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a};
+  const TransportPlan transport{2_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  ASSERT_EQ(result.schedule.items.size(), 1u);
+  EXPECT_EQ(result.schedule.items[0].start, 0_min);
+  EXPECT_EQ(inventory.size(), 1);
+  EXPECT_TRUE(validate_result(wrap(assay, result, inventory), assay, transport).empty());
+}
+
+TEST(ListScheduler, ChainPrefersCoLocation) {
+  // With the default weights, a dependent chain should stay on one device
+  // (no transport, no path) rather than spread across devices. In the first
+  // pass each parent still reserves its worst-case outgoing transport
+  // (3m each here); once the estimator refines co-located edges to zero the
+  // reserve vanishes.
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min);
+  const auto b = add_op(assay, "b", 10_min, {a});
+  const auto c = add_op(assay, "c", 10_min, {b});
+  model::DeviceInventory inventory(5);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b, c};
+  const TransportPlan first_pass{3_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, first_pass, costs, inventory);
+  EXPECT_EQ(inventory.size(), 1);
+  EXPECT_EQ(result.schedule.makespan(), 36_min);  // 30m + two 3m reserves
+  EXPECT_TRUE(
+      validate_result(wrap(assay, result, inventory), assay, first_pass).empty());
+
+  // Refined plan: co-located edges cost zero, the reserves disappear.
+  TransportPlan refined{3_min};
+  refined.set_edge_time(a, b, 0_min);
+  refined.set_edge_time(b, c, 0_min);
+  model::DeviceInventory inventory2(5);
+  const auto result2 = schedule_layer(request, assay, refined, costs, inventory2);
+  EXPECT_EQ(inventory2.size(), 1);
+  EXPECT_EQ(result2.schedule.makespan(), 30_min);
+}
+
+TEST(ListScheduler, IndependentOpsRunInParallelWhenTimeMatters) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 30_min);
+  const auto b = add_op(assay, "b", 30_min);
+  model::DeviceInventory inventory(4);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b};
+  const TransportPlan transport{1_min};
+  model::CostModel costs;
+  costs.set_weights(10.0, 0.1, 0.1, 0.1);  // time-dominant
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  EXPECT_EQ(inventory.size(), 2);
+  EXPECT_EQ(result.schedule.makespan(), 30_min);
+}
+
+TEST(ListScheduler, ReusesInheritedDevices) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min, {}, {BuiltinAccessory::kPump});
+  model::DeviceInventory inventory(3);
+  const auto inherited = inventory.instantiate(
+      {ContainerKind::Ring, Capacity::Small, {BuiltinAccessory::kPump}}, LayerId{0});
+  LayerRequest request;
+  request.layer = LayerId{1};
+  request.ops = {a};
+  request.usable_devices = {inherited};
+  const TransportPlan transport{2_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  EXPECT_EQ(inventory.size(), 1);  // no new device
+  EXPECT_EQ(result.schedule.items[0].device, inherited);
+}
+
+TEST(ListScheduler, IndeterminateOpsGetDistinctDevicesAndEndTheLayer) {
+  model::Assay assay{"t"};
+  const auto det = add_op(assay, "det", 20_min);
+  const auto i1 = add_op(assay, "i1", 5_min, {}, {}, true);
+  const auto i2 = add_op(assay, "i2", 5_min, {}, {}, true);
+  model::DeviceInventory inventory(5);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {det, i1, i2};
+  const TransportPlan transport{1_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  const auto* item1 = result.schedule.find(i1);
+  const auto* item2 = result.schedule.find(i2);
+  ASSERT_NE(item1, nullptr);
+  ASSERT_NE(item2, nullptr);
+  EXPECT_NE(item1->device, item2->device);
+  EXPECT_TRUE(validate_result(wrap(assay, result, inventory), assay, transport).empty());
+}
+
+TEST(ListScheduler, ThrowsWhenInventoryCannotFit) {
+  model::Assay assay{"t"};
+  // Two ops with disjoint hard requirements but room for only one device.
+  const auto a = add_op(assay, "a", 10_min, {}, {BuiltinAccessory::kHeatingPad});
+  model::OperationSpec spec;
+  spec.name = "b";
+  spec.duration = 10_min;
+  spec.container = ContainerKind::Ring;
+  spec.capacity = Capacity::Large;
+  const auto b = assay.add_operation(spec);
+  model::DeviceInventory inventory(1);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b};
+  const TransportPlan transport{1_min};
+  const model::CostModel costs;
+  EXPECT_THROW(
+      (void)schedule_layer(request, assay, transport, costs, inventory),
+      InfeasibleError);
+}
+
+TEST(ListScheduler, CapabilityReservationKeepsSlotsForPickyOps) {
+  // Nine easy ops plus one op that needs a large ring; with 2 slots the
+  // scheduler must not burn both on chambers for the easy ops.
+  model::Assay assay{"t"};
+  std::vector<OperationId> ops;
+  for (int i = 0; i < 9; ++i) {
+    ops.push_back(add_op(assay, "easy" + std::to_string(i), 10_min));
+  }
+  model::OperationSpec picky;
+  picky.name = "picky";
+  picky.duration = 10_min;
+  picky.container = ContainerKind::Ring;
+  picky.capacity = Capacity::Large;
+  ops.push_back(assay.add_operation(picky));
+  model::DeviceInventory inventory(2);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = ops;
+  const TransportPlan transport{1_min};
+  model::CostModel costs;
+  costs.set_weights(10.0, 0.1, 0.1, 0.1);  // tempt it to parallelize
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  EXPECT_LE(inventory.size(), 2);
+  EXPECT_TRUE(validate_result(wrap(assay, result, inventory), assay, transport).empty());
+}
+
+TEST(ListScheduler, ConsumedHintsAreReported) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min, {}, {BuiltinAccessory::kSieveValve});
+  model::DeviceInventory inventory(3);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a};
+  request.hints = {DeviceHint{
+      {ContainerKind::Ring, Capacity::Small,
+       {BuiltinAccessory::kSieveValve, BuiltinAccessory::kPump}},
+      /*key=*/7}};
+  const TransportPlan transport{1_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  // The hinted ring is free (its cost is owned elsewhere), so it wins over
+  // integrating a new minimal chamber.
+  ASSERT_EQ(result.consumed_hints.size(), 1u);
+  EXPECT_EQ(result.consumed_hints[0], 7);
+  EXPECT_EQ(inventory.size(), 1);
+  EXPECT_EQ(inventory.device(DeviceId{0}).config.container, ContainerKind::Ring);
+}
+
+TEST(ListScheduler, ExactMatchPolicyMimicsConventionalBinding) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min, {}, {BuiltinAccessory::kSieveValve});
+  const auto b = add_op(assay, "b", 10_min, {a}, {});  // no requirements
+  model::DeviceInventory inventory(4);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b};
+  // Exact-match: b's class ({} accessories) differs from a's, so they can
+  // never share a device.
+  request.binds = [](const model::Operation& op, const model::DeviceConfig& config) {
+    return op.accessories() == config.accessories;
+  };
+  request.new_config = [](const model::Operation& op) {
+    return model::DeviceConfig{ContainerKind::Chamber, Capacity::Tiny, op.accessories()};
+  };
+  const TransportPlan transport{1_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  EXPECT_EQ(inventory.size(), 2);
+  const auto* item_a = result.schedule.find(a);
+  const auto* item_b = result.schedule.find(b);
+  EXPECT_NE(item_a->device, item_b->device);
+}
+
+TEST(ListScheduler, CrossLayerParentChargesIncomingTransport) {
+  model::Assay assay{"t"};
+  const auto parent = add_op(assay, "p", 10_min);
+  const auto child = add_op(assay, "c", 10_min, {parent});
+  model::DeviceInventory inventory(3);
+  const auto d_prev = inventory.instantiate({ContainerKind::Chamber, Capacity::Tiny, {}},
+                                            LayerId{0});
+  LayerRequest request;
+  request.layer = LayerId{1};
+  request.ops = {child};
+  request.prior_binding = {{parent, d_prev}};
+  request.usable_devices = {d_prev};
+  TransportPlan transport{4_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  const auto& item = result.schedule.items[0];
+  if (item.device == d_prev) {
+    EXPECT_EQ(item.start, 0_min);  // same device: reagent is already there
+  } else {
+    EXPECT_GE(item.start, 4_min);  // moved: wait for the transfer
+  }
+}
+
+TEST(ListScheduler, SlotQuantizationRoundsStartsUp) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 7_min);   // ends at 7
+  const auto b = add_op(assay, "b", 5_min, {a});
+  model::DeviceInventory inventory(2);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b};
+  request.slot_size = 10_min;
+  TransportPlan transport{0_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  for (const auto& item : result.schedule.items) {
+    EXPECT_EQ(item.start.count() % 10, 0)
+        << assay.operation(item.op).name() << " not on a slot boundary";
+  }
+  // b is ready at 7 but must wait for the 10m slot.
+  EXPECT_EQ(result.schedule.find(b)->start, 10_min);
+  EXPECT_TRUE(validate_result(wrap(assay, result, inventory), assay, transport).empty());
+}
+
+TEST(ListScheduler, ZeroSlotSizeKeepsContinuousStarts) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 7_min);
+  const auto b = add_op(assay, "b", 5_min, {a});
+  model::DeviceInventory inventory(2);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b};
+  TransportPlan transport{0_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  EXPECT_EQ(result.schedule.find(b)->start, 7_min);
+}
+
+// Property: on random assays treated as a single determinate layer, the
+// scheduler's output always validates.
+class ListSchedulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ListSchedulerProperty, OutputAlwaysValidates) {
+  assays::RandomAssayOptions gen;
+  gen.operations = 14;
+  gen.indeterminate_probability = 0.0;
+  const model::Assay assay =
+      assays::random_assay(static_cast<std::uint64_t>(GetParam()) * 33 + 5, gen);
+  model::DeviceInventory inventory(8);
+  LayerRequest request;
+  request.layer = LayerId{0};
+  for (const auto& op : assay.operations()) {
+    request.ops.push_back(op.id());
+  }
+  const TransportPlan transport{2_min};
+  const model::CostModel costs;
+  const auto result = schedule_layer(request, assay, transport, costs, inventory);
+  SynthesisResult wrapped;
+  wrapped.layers.push_back(result.schedule);
+  wrapped.devices = inventory;
+  const auto violations = validate_result(wrapped, assay, transport);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListSchedulerProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cohls::schedule

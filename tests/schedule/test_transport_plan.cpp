@@ -1,0 +1,73 @@
+#include "schedule/transport_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace cohls::schedule {
+namespace {
+
+TEST(TransportProgression, TermsAreArithmetic) {
+  const TransportProgression p{1_min, 4_min, 4};
+  EXPECT_EQ(p.term(0), 1_min);
+  EXPECT_EQ(p.term(1), 2_min);
+  EXPECT_EQ(p.term(2), 3_min);
+  EXPECT_EQ(p.term(3), 4_min);
+}
+
+TEST(TransportProgression, BeyondLastTermClampsToMaximum) {
+  const TransportProgression p{1_min, 4_min, 4};
+  EXPECT_EQ(p.term(9), 4_min);
+}
+
+TEST(TransportProgression, SingleTermProgression) {
+  const TransportProgression p{3_min, 3_min, 1};
+  EXPECT_EQ(p.term(0), 3_min);
+  EXPECT_EQ(p.term(5), 3_min);
+}
+
+TEST(TransportProgression, NonDivisibleSpanRoundsDown) {
+  const TransportProgression p{1_min, 4_min, 3};  // terms 1, 2.5->2, 4
+  EXPECT_EQ(p.term(0), 1_min);
+  EXPECT_EQ(p.term(1), 2_min);
+  EXPECT_EQ(p.term(2), 4_min);
+}
+
+TEST(TransportProgression, RejectsBadShapes) {
+  const TransportProgression inverted{4_min, 1_min, 3};
+  EXPECT_THROW((void)inverted.term(0), PreconditionError);
+  const TransportProgression no_terms{1_min, 2_min, 0};
+  EXPECT_THROW((void)no_terms.term(0), PreconditionError);
+  const TransportProgression fine{1_min, 2_min, 2};
+  EXPECT_THROW((void)fine.term(-1), PreconditionError);
+}
+
+TEST(TransportPlan, UniformFallback) {
+  const TransportPlan plan{2_min};
+  EXPECT_EQ(plan.edge_time(OperationId{0}, OperationId{1}), 2_min);
+  EXPECT_EQ(plan.uniform_time(), 2_min);
+}
+
+TEST(TransportPlan, PerEdgeOverride) {
+  TransportPlan plan{2_min};
+  plan.set_edge_time(OperationId{0}, OperationId{1}, 5_min);
+  EXPECT_EQ(plan.edge_time(OperationId{0}, OperationId{1}), 5_min);
+  // Direction matters: the reverse edge keeps the fallback.
+  EXPECT_EQ(plan.edge_time(OperationId{1}, OperationId{0}), 2_min);
+}
+
+TEST(TransportPlan, ZeroOverrideRepresentsCoLocation) {
+  TransportPlan plan{2_min};
+  plan.set_edge_time(OperationId{0}, OperationId{1}, 0_min);
+  EXPECT_EQ(plan.edge_time(OperationId{0}, OperationId{1}), 0_min);
+}
+
+TEST(TransportPlan, RejectsNegativeTimes) {
+  TransportPlan plan{1_min};
+  EXPECT_THROW(plan.set_edge_time(OperationId{0}, OperationId{1}, Minutes{-1}),
+               PreconditionError);
+  EXPECT_THROW(TransportPlan{Minutes{-2}}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace cohls::schedule

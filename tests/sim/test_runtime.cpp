@@ -1,0 +1,110 @@
+#include "sim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assays/benchmarks.hpp"
+#include "core/progressive_resynthesis.hpp"
+
+namespace cohls::sim {
+namespace {
+
+struct Fixture {
+  model::Assay assay = assays::gene_expression_assay(3);
+  core::SynthesisReport report;
+
+  Fixture() {
+    core::SynthesisOptions options;
+    options.max_devices = 12;
+    options.layering.indeterminate_threshold = 3;
+    report = core::synthesize(assay, options);
+  }
+};
+
+TEST(Runtime, CertainSuccessMatchesThePlanExactly) {
+  const Fixture f;
+  RuntimeOptions options;
+  options.attempt_success_probability = 1.0;
+  const RunTrace trace = simulate_run(f.report.result, f.assay, options);
+  EXPECT_EQ(trace.completed_at, trace.planned_fixed);
+  EXPECT_EQ(trace.overrun(), 0_min);
+}
+
+TEST(Runtime, OverrunIsNeverNegative) {
+  const Fixture f;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RuntimeOptions options;
+    options.seed = seed;
+    const RunTrace trace = simulate_run(f.report.result, f.assay, options);
+    EXPECT_GE(trace.completed_at, trace.planned_fixed) << "seed " << seed;
+  }
+}
+
+TEST(Runtime, DeterministicPerSeed) {
+  const Fixture f;
+  RuntimeOptions options;
+  options.seed = 7;
+  const RunTrace a = simulate_run(f.report.result, f.assay, options);
+  const RunTrace b = simulate_run(f.report.result, f.assay, options);
+  EXPECT_EQ(a.completed_at, b.completed_at);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].end, b.layers[i].end);
+  }
+}
+
+TEST(Runtime, OnlyIndeterminateOpsRetry) {
+  const Fixture f;
+  RuntimeOptions options;
+  options.attempt_success_probability = 0.2;  // lots of retries
+  options.seed = 3;
+  const RunTrace trace = simulate_run(f.report.result, f.assay, options);
+  for (const LayerTrace& layer : trace.layers) {
+    for (const OperationTrace& op : layer.operations) {
+      if (f.assay.operation(op.op).indeterminate()) {
+        EXPECT_GE(op.attempts, 1);
+        EXPECT_EQ(op.actual, op.attempts * f.assay.operation(op.op).duration());
+      } else {
+        EXPECT_EQ(op.attempts, 1);
+        EXPECT_EQ(op.actual, f.assay.operation(op.op).duration());
+      }
+    }
+  }
+}
+
+TEST(Runtime, LayersExecuteBackToBack) {
+  const Fixture f;
+  const RunTrace trace = simulate_run(f.report.result, f.assay);
+  Minutes expected_start{0};
+  for (const LayerTrace& layer : trace.layers) {
+    EXPECT_EQ(layer.start, expected_start);
+    EXPECT_GE(layer.end, layer.start);
+    expected_start = layer.end;
+  }
+  EXPECT_EQ(trace.completed_at, expected_start);
+}
+
+TEST(Runtime, MaxAttemptsBoundsTheOverrun) {
+  const Fixture f;
+  RuntimeOptions options;
+  options.attempt_success_probability = 1e-9;  // effectively never succeeds
+  options.max_attempts = 3;
+  const RunTrace trace = simulate_run(f.report.result, f.assay, options);
+  for (const LayerTrace& layer : trace.layers) {
+    for (const OperationTrace& op : layer.operations) {
+      EXPECT_LE(op.attempts, 3);
+    }
+  }
+}
+
+TEST(Runtime, RejectsBadOptions) {
+  const Fixture f;
+  RuntimeOptions options;
+  options.attempt_success_probability = 0.0;
+  EXPECT_THROW((void)simulate_run(f.report.result, f.assay, options), PreconditionError);
+  options.attempt_success_probability = 0.5;
+  options.max_attempts = 0;
+  EXPECT_THROW((void)simulate_run(f.report.result, f.assay, options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cohls::sim

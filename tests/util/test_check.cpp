@@ -1,0 +1,41 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls {
+namespace {
+
+TEST(Check, ExpectPassesOnTrue) {
+  EXPECT_NO_THROW(COHLS_EXPECT(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Check, ExpectThrowsPreconditionError) {
+  EXPECT_THROW(COHLS_EXPECT(false, "deliberate"), PreconditionError);
+}
+
+TEST(Check, AssertThrowsInvariantError) {
+  EXPECT_THROW(COHLS_ASSERT(false, "deliberate"), InvariantError);
+}
+
+TEST(Check, MessageNamesTheExpressionAndLocation) {
+  try {
+    COHLS_EXPECT(2 < 1, "two is not less than one");
+    FAIL() << "expected a throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PreconditionErrorIsInvalidArgument) {
+  EXPECT_THROW(COHLS_EXPECT(false, "x"), std::invalid_argument);
+}
+
+TEST(Check, InvariantErrorIsLogicError) {
+  EXPECT_THROW(COHLS_ASSERT(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cohls

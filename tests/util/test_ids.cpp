@@ -1,0 +1,50 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace cohls {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  OperationId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), -1);
+}
+
+TEST(Ids, ExplicitValueRoundTrips) {
+  DeviceId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(Ids, ComparesByValue) {
+  EXPECT_EQ(OperationId{3}, OperationId{3});
+  EXPECT_NE(OperationId{3}, OperationId{4});
+  EXPECT_LT(OperationId{3}, OperationId{4});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<OperationId, DeviceId>);
+  static_assert(!std::is_same_v<DeviceId, LayerId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<OperationId> set;
+  set.insert(OperationId{1});
+  set.insert(OperationId{2});
+  set.insert(OperationId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, StreamsItsValue) {
+  std::ostringstream out;
+  out << LayerId{12};
+  EXPECT_EQ(out.str(), "12");
+}
+
+}  // namespace
+}  // namespace cohls

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace cohls {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int identical = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++identical;
+    }
+  }
+  EXPECT_LT(identical, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng{7};
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversAllValuesOfSmallRange) {
+  Rng rng{11};
+  std::array<int, 4> seen{};
+  for (int i = 0; i < 400; ++i) {
+    ++seen[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  }
+  for (const int count : seen) {
+    EXPECT_GT(count, 50);  // roughly uniform
+  }
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRejectsOutOfRangeProbability) {
+  Rng rng{5};
+  EXPECT_THROW(rng.bernoulli(-0.1), PreconditionError);
+  EXPECT_THROW(rng.bernoulli(1.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cohls

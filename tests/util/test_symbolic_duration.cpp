@@ -1,0 +1,68 @@
+#include "util/symbolic_duration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls {
+namespace {
+
+TEST(SymbolicDuration, DeterminatePrintsJustMinutes) {
+  SymbolicDuration d{225_min};
+  EXPECT_EQ(d.to_string(), "225m");
+}
+
+TEST(SymbolicDuration, SymbolsPrintInPaperNotation) {
+  SymbolicDuration d{277_min};
+  d.add_symbol(1);
+  EXPECT_EQ(d.to_string(), "277m+I1");
+  d.add_symbol(2);
+  EXPECT_EQ(d.to_string(), "277m+I1+I2");
+}
+
+TEST(SymbolicDuration, SymbolsStaySortedRegardlessOfInsertionOrder) {
+  SymbolicDuration d{1_min};
+  d.add_symbol(3);
+  d.add_symbol(1);
+  d.add_symbol(2);
+  EXPECT_EQ(d.to_string(), "1m+I1+I2+I3");
+}
+
+TEST(SymbolicDuration, DuplicateSymbolsCollapse) {
+  SymbolicDuration d{10_min};
+  d.add_symbol(1);
+  d.add_symbol(1);
+  EXPECT_EQ(d.symbols().size(), 1u);
+}
+
+TEST(SymbolicDuration, AdditionMergesFixedAndSymbols) {
+  SymbolicDuration a{100_min};
+  a.add_symbol(1);
+  SymbolicDuration b{44_min};
+  b.add_symbol(2);
+  a += b;
+  EXPECT_EQ(a.to_string(), "144m+I1+I2");
+}
+
+TEST(SymbolicDuration, EqualityComparesFixedAndSymbols) {
+  SymbolicDuration a{10_min};
+  SymbolicDuration b{10_min};
+  EXPECT_EQ(a, b);
+  a.add_symbol(1);
+  EXPECT_NE(a, b);
+  b.add_symbol(1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SymbolicDuration, RejectsNonPositiveLayerNumbers) {
+  SymbolicDuration d;
+  EXPECT_THROW(d.add_symbol(0), PreconditionError);
+  EXPECT_THROW(d.add_symbol(-2), PreconditionError);
+}
+
+TEST(SymbolicDuration, AddFixedAccumulates) {
+  SymbolicDuration d{10_min};
+  d.add_fixed(5_min);
+  EXPECT_EQ(d.fixed(), 15_min);
+}
+
+}  // namespace
+}  // namespace cohls

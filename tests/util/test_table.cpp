@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace cohls {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Case", "Time"});
+  t.add_row({"1", "225m"});
+  t.add_row({"22", "5m"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Case  Time"), std::string::npos);
+  EXPECT_NE(s.find("1     225m"), std::string::npos);
+  EXPECT_NE(s.find("22    5m"), std::string::npos);
+}
+
+TEST(TextTable, HeaderSeparatorPresent) {
+  TextTable t({"A"});
+  t.add_row({"x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, RejectsMismatchedRowArity) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, WideCellGrowsColumn) {
+  TextTable t({"A", "B"});
+  t.add_row({"a-very-wide-cell", "b"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a-very-wide-cell  b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cohls

@@ -1,0 +1,55 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cohls {
+namespace {
+
+TEST(Minutes, ArithmeticBehavesLikeIntegers) {
+  EXPECT_EQ((Minutes{10} + Minutes{5}).count(), 15);
+  EXPECT_EQ((Minutes{10} - Minutes{25}).count(), -15);
+  EXPECT_EQ((3 * Minutes{7}).count(), 21);
+}
+
+TEST(Minutes, CompoundAssignment) {
+  Minutes m{4};
+  m += Minutes{6};
+  EXPECT_EQ(m.count(), 10);
+  m -= Minutes{3};
+  EXPECT_EQ(m.count(), 7);
+}
+
+TEST(Minutes, Ordering) {
+  EXPECT_LT(Minutes{1}, Minutes{2});
+  EXPECT_EQ(Minutes{5}, Minutes{5});
+  EXPECT_GT(Minutes{9}, Minutes{-9});
+}
+
+TEST(Minutes, UserLiteral) {
+  EXPECT_EQ(225_min, Minutes{225});
+}
+
+TEST(Minutes, StreamFormat) {
+  std::ostringstream out;
+  out << 225_min;
+  EXPECT_EQ(out.str(), "225m");
+}
+
+TEST(FormatWallclock, SubMinuteUsesSeconds) {
+  EXPECT_EQ(format_wallclock(5.531), "5.531s");
+  EXPECT_EQ(format_wallclock(0.0), "0.000s");
+}
+
+TEST(FormatWallclock, AboveMinuteUsesMinuteSecond) {
+  EXPECT_EQ(format_wallclock(312.0), "5m12s");
+  EXPECT_EQ(format_wallclock(601.4), "10m1s");
+}
+
+TEST(FormatWallclock, RejectsNegative) {
+  EXPECT_THROW(format_wallclock(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cohls

@@ -1,0 +1,192 @@
+// cohls_synth — command-line front end of the synthesis flow.
+//
+//   cohls_synth <assay-file> [options]
+//
+//   --max-devices N        |D|, the device budget (default 25)
+//   --threshold N          layer threshold t (default 10)
+//   --transport N          initial transport constant, minutes (default 5)
+//   --conventional         use the modified conventional baseline
+//   --layout               refine transport from a placed layout
+//   --no-resynthesis       stop after the initial pass
+//   --gantt / --csv / --dot / --placement
+//                          extra output sections
+//   --simulate SEED        simulate one cyberphysical run
+//
+// The assay file uses the format of src/io/assay_text.hpp; see
+// examples/protocols/*.assay for samples.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/conventional.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "io/assay_text.hpp"
+#include "io/export.hpp"
+#include "io/result_text.hpp"
+#include "layout/placement.hpp"
+#include "schedule/validate.hpp"
+#include "sim/runtime.hpp"
+
+namespace {
+
+using namespace cohls;
+
+struct CliOptions {
+  std::string assay_path;
+  core::SynthesisOptions synthesis;
+  bool conventional = false;
+  bool gantt = false;
+  bool csv = false;
+  bool dot = false;
+  bool placement = false;
+  bool simulate = false;
+  std::uint64_t simulate_seed = 1;
+  std::string save_result_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <assay-file> [--max-devices N] [--threshold N] [--transport N]"
+               " [--conventional] [--layout] [--no-resynthesis]"
+               " [--gantt] [--csv] [--dot] [--placement] [--simulate SEED]"
+               " [--save-result FILE]\n";
+  std::exit(2);
+}
+
+long numeric_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    usage(argv[0]);
+  }
+  return std::stol(argv[++i]);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-devices") {
+      cli.synthesis.max_devices = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--threshold") {
+      cli.synthesis.layering.indeterminate_threshold =
+          static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--transport") {
+      cli.synthesis.initial_transport = Minutes{numeric_arg(argc, argv, i)};
+    } else if (arg == "--conventional") {
+      cli.conventional = true;
+    } else if (arg == "--layout") {
+      cli.synthesis.transport_refinement = core::TransportRefinement::Layout;
+    } else if (arg == "--no-resynthesis") {
+      cli.synthesis.max_resynthesis_iterations = 0;
+    } else if (arg == "--gantt") {
+      cli.gantt = true;
+    } else if (arg == "--csv") {
+      cli.csv = true;
+    } else if (arg == "--dot") {
+      cli.dot = true;
+    } else if (arg == "--placement") {
+      cli.placement = true;
+    } else if (arg == "--simulate") {
+      cli.simulate = true;
+      cli.simulate_seed = static_cast<std::uint64_t>(numeric_arg(argc, argv, i));
+    } else if (arg == "--save-result") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      cli.save_result_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+    } else if (cli.assay_path.empty()) {
+      cli.assay_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cli.assay_path.empty()) {
+    usage(argv[0]);
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
+
+  std::ifstream file(cli.assay_path);
+  if (!file) {
+    std::cerr << "cannot open " << cli.assay_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  try {
+    const model::Assay assay = io::assay_from_text(buffer.str());
+    std::cout << "assay: " << assay.name() << " (" << assay.operation_count()
+              << " operations, " << assay.indeterminate_count() << " indeterminate)\n";
+
+    const core::SynthesisReport report =
+        cli.conventional ? baseline::synthesize_conventional(assay, cli.synthesis)
+                         : core::synthesize(assay, cli.synthesis);
+
+    std::cout << "method: " << (cli.conventional ? "modified conventional"
+                                                 : "component-oriented")
+              << "\n";
+    std::cout << "execution time: " << report.result.total_time(assay) << "\n";
+    std::cout << "devices: " << report.result.used_device_count() << " of "
+              << cli.synthesis.max_devices << " allowed\n";
+    std::cout << "paths: " << report.result.path_count(assay) << "\n";
+    std::cout << "layers: " << report.result.layers.size() << "\n";
+    std::cout << "re-synthesis iterations: " << report.iterations.size() - 1 << "\n";
+
+    const auto violations =
+        schedule::validate_result(report.result, assay, report.transport);
+    std::cout << "valid: " << (violations.empty() ? "yes" : "NO") << "\n";
+    for (const auto& v : violations) {
+      std::cout << "  violation: " << v << "\n";
+    }
+
+    if (cli.gantt) {
+      std::cout << "\n" << io::to_gantt(report.result, assay);
+    }
+    if (cli.csv) {
+      std::cout << "\n" << io::to_csv(report.result, assay);
+    }
+    if (cli.dot) {
+      std::cout << "\n" << io::to_dot(report.result, assay);
+    }
+    if (cli.placement) {
+      const auto placement = layout::place_devices(report.result, assay);
+      std::cout << "\nplacement (" << placement.grid_width() << "x"
+                << placement.grid_width() << " grid):\n"
+                << placement.to_ascii();
+    }
+    if (!cli.save_result_path.empty()) {
+      std::ofstream out(cli.save_result_path);
+      if (!out) {
+        std::cerr << "cannot write " << cli.save_result_path << "\n";
+        return 1;
+      }
+      out << io::to_text(report.result, assay);
+      std::cout << "result saved to " << cli.save_result_path << "\n";
+    }
+    if (cli.simulate) {
+      sim::RuntimeOptions options;
+      options.seed = cli.simulate_seed;
+      const sim::RunTrace trace = sim::simulate_run(report.result, assay, options);
+      std::cout << "\nsimulated run (seed " << cli.simulate_seed
+                << "): completed at " << trace.completed_at << " (planned fixed "
+                << trace.planned_fixed << ", overrun " << trace.overrun() << ")\n";
+    }
+    return violations.empty() ? 0 : 1;
+  } catch (const io::ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 2;
+  } catch (const InfeasibleError& e) {
+    std::cerr << "infeasible: " << e.what() << "\n";
+    return 3;
+  }
+}
