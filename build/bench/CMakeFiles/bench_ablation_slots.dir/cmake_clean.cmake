@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slots.dir/bench_ablation_slots.cpp.o"
+  "CMakeFiles/bench_ablation_slots.dir/bench_ablation_slots.cpp.o.d"
+  "bench_ablation_slots"
+  "bench_ablation_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

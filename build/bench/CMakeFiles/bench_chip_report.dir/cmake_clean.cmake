@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chip_report.dir/bench_chip_report.cpp.o"
+  "CMakeFiles/bench_chip_report.dir/bench_chip_report.cpp.o.d"
+  "bench_chip_report"
+  "bench_chip_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chip_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_layering.dir/bench_fig4_layering.cpp.o"
+  "CMakeFiles/bench_fig4_layering.dir/bench_fig4_layering.cpp.o.d"
+  "bench_fig4_layering"
+  "bench_fig4_layering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

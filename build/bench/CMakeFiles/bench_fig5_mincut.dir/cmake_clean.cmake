@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mincut.dir/bench_fig5_mincut.cpp.o"
+  "CMakeFiles/bench_fig5_mincut.dir/bench_fig5_mincut.cpp.o.d"
+  "bench_fig5_mincut"
+  "bench_fig5_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

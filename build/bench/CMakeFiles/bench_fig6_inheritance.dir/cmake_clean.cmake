@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_inheritance.dir/bench_fig6_inheritance.cpp.o"
+  "CMakeFiles/bench_fig6_inheritance.dir/bench_fig6_inheritance.cpp.o.d"
+  "bench_fig6_inheritance"
+  "bench_fig6_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

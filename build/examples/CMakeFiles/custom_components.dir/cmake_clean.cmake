@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_components.dir/custom_components.cpp.o"
+  "CMakeFiles/custom_components.dir/custom_components.cpp.o.d"
+  "custom_components"
+  "custom_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hybrid_runtime.cpp" "examples/CMakeFiles/hybrid_runtime.dir/hybrid_runtime.cpp.o" "gcc" "examples/CMakeFiles/hybrid_runtime.dir/hybrid_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cohls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cohls_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/assays/CMakeFiles/cohls_assays.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cohls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cohls_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/cohls_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cohls_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/cohls_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/cohls_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_runtime.dir/hybrid_runtime.cpp.o"
+  "CMakeFiles/hybrid_runtime.dir/hybrid_runtime.cpp.o.d"
+  "hybrid_runtime"
+  "hybrid_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinase_assay.dir/kinase_assay.cpp.o"
+  "CMakeFiles/kinase_assay.dir/kinase_assay.cpp.o.d"
+  "kinase_assay"
+  "kinase_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinase_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

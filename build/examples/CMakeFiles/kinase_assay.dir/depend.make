@@ -1,0 +1,2 @@
+# Empty dependencies file for kinase_assay.
+# This may be replaced when dependencies are built.

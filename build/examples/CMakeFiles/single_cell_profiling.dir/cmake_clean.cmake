@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_cell_profiling.dir/single_cell_profiling.cpp.o"
+  "CMakeFiles/single_cell_profiling.dir/single_cell_profiling.cpp.o.d"
+  "single_cell_profiling"
+  "single_cell_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_cell_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("lp")
+subdirs("milp")
+subdirs("model")
+subdirs("schedule")
+subdirs("io")
+subdirs("sim")
+subdirs("layout")
+subdirs("chip")
+subdirs("core")
+subdirs("baseline")
+subdirs("assays")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assays/benchmarks.cpp" "src/assays/CMakeFiles/cohls_assays.dir/benchmarks.cpp.o" "gcc" "src/assays/CMakeFiles/cohls_assays.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/assays/random_assay.cpp" "src/assays/CMakeFiles/cohls_assays.dir/random_assay.cpp.o" "gcc" "src/assays/CMakeFiles/cohls_assays.dir/random_assay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

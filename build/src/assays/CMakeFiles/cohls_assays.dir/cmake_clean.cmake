@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_assays.dir/benchmarks.cpp.o"
+  "CMakeFiles/cohls_assays.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/cohls_assays.dir/random_assay.cpp.o"
+  "CMakeFiles/cohls_assays.dir/random_assay.cpp.o.d"
+  "libcohls_assays.a"
+  "libcohls_assays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_assays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

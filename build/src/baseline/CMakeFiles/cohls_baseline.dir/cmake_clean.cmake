@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_baseline.dir/conventional.cpp.o"
+  "CMakeFiles/cohls_baseline.dir/conventional.cpp.o.d"
+  "libcohls_baseline.a"
+  "libcohls_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

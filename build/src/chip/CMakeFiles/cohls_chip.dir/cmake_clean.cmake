@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_chip.dir/resources.cpp.o"
+  "CMakeFiles/cohls_chip.dir/resources.cpp.o.d"
+  "libcohls_chip.a"
+  "libcohls_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hybrid_synthesizer.cpp" "src/core/CMakeFiles/cohls_core.dir/hybrid_synthesizer.cpp.o" "gcc" "src/core/CMakeFiles/cohls_core.dir/hybrid_synthesizer.cpp.o.d"
+  "/root/repo/src/core/ilp_layer_model.cpp" "src/core/CMakeFiles/cohls_core.dir/ilp_layer_model.cpp.o" "gcc" "src/core/CMakeFiles/cohls_core.dir/ilp_layer_model.cpp.o.d"
+  "/root/repo/src/core/layer_synthesizer.cpp" "src/core/CMakeFiles/cohls_core.dir/layer_synthesizer.cpp.o" "gcc" "src/core/CMakeFiles/cohls_core.dir/layer_synthesizer.cpp.o.d"
+  "/root/repo/src/core/layering.cpp" "src/core/CMakeFiles/cohls_core.dir/layering.cpp.o" "gcc" "src/core/CMakeFiles/cohls_core.dir/layering.cpp.o.d"
+  "/root/repo/src/core/progressive_resynthesis.cpp" "src/core/CMakeFiles/cohls_core.dir/progressive_resynthesis.cpp.o" "gcc" "src/core/CMakeFiles/cohls_core.dir/progressive_resynthesis.cpp.o.d"
+  "/root/repo/src/core/transport_estimator.cpp" "src/core/CMakeFiles/cohls_core.dir/transport_estimator.cpp.o" "gcc" "src/core/CMakeFiles/cohls_core.dir/transport_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/cohls_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/cohls_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/cohls_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cohls_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_core.dir/hybrid_synthesizer.cpp.o"
+  "CMakeFiles/cohls_core.dir/hybrid_synthesizer.cpp.o.d"
+  "CMakeFiles/cohls_core.dir/ilp_layer_model.cpp.o"
+  "CMakeFiles/cohls_core.dir/ilp_layer_model.cpp.o.d"
+  "CMakeFiles/cohls_core.dir/layer_synthesizer.cpp.o"
+  "CMakeFiles/cohls_core.dir/layer_synthesizer.cpp.o.d"
+  "CMakeFiles/cohls_core.dir/layering.cpp.o"
+  "CMakeFiles/cohls_core.dir/layering.cpp.o.d"
+  "CMakeFiles/cohls_core.dir/progressive_resynthesis.cpp.o"
+  "CMakeFiles/cohls_core.dir/progressive_resynthesis.cpp.o.d"
+  "CMakeFiles/cohls_core.dir/transport_estimator.cpp.o"
+  "CMakeFiles/cohls_core.dir/transport_estimator.cpp.o.d"
+  "libcohls_core.a"
+  "libcohls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

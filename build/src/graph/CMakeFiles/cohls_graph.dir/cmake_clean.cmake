@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_graph.dir/digraph.cpp.o"
+  "CMakeFiles/cohls_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/cohls_graph.dir/max_flow.cpp.o"
+  "CMakeFiles/cohls_graph.dir/max_flow.cpp.o.d"
+  "CMakeFiles/cohls_graph.dir/traversal.cpp.o"
+  "CMakeFiles/cohls_graph.dir/traversal.cpp.o.d"
+  "libcohls_graph.a"
+  "libcohls_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/assay_text.cpp" "src/io/CMakeFiles/cohls_io.dir/assay_text.cpp.o" "gcc" "src/io/CMakeFiles/cohls_io.dir/assay_text.cpp.o.d"
+  "/root/repo/src/io/export.cpp" "src/io/CMakeFiles/cohls_io.dir/export.cpp.o" "gcc" "src/io/CMakeFiles/cohls_io.dir/export.cpp.o.d"
+  "/root/repo/src/io/result_text.cpp" "src/io/CMakeFiles/cohls_io.dir/result_text.cpp.o" "gcc" "src/io/CMakeFiles/cohls_io.dir/result_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/cohls_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_io.dir/assay_text.cpp.o"
+  "CMakeFiles/cohls_io.dir/assay_text.cpp.o.d"
+  "CMakeFiles/cohls_io.dir/export.cpp.o"
+  "CMakeFiles/cohls_io.dir/export.cpp.o.d"
+  "CMakeFiles/cohls_io.dir/result_text.cpp.o"
+  "CMakeFiles/cohls_io.dir/result_text.cpp.o.d"
+  "libcohls_io.a"
+  "libcohls_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

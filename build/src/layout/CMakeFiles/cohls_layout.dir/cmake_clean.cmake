@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_layout.dir/placement.cpp.o"
+  "CMakeFiles/cohls_layout.dir/placement.cpp.o.d"
+  "CMakeFiles/cohls_layout.dir/transport_from_layout.cpp.o"
+  "CMakeFiles/cohls_layout.dir/transport_from_layout.cpp.o.d"
+  "libcohls_layout.a"
+  "libcohls_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

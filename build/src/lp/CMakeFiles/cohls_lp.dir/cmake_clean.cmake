@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_lp.dir/model.cpp.o"
+  "CMakeFiles/cohls_lp.dir/model.cpp.o.d"
+  "CMakeFiles/cohls_lp.dir/presolve.cpp.o"
+  "CMakeFiles/cohls_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/cohls_lp.dir/simplex.cpp.o"
+  "CMakeFiles/cohls_lp.dir/simplex.cpp.o.d"
+  "libcohls_lp.a"
+  "libcohls_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcohls_lp.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/branch_and_bound.cpp" "src/milp/CMakeFiles/cohls_milp.dir/branch_and_bound.cpp.o" "gcc" "src/milp/CMakeFiles/cohls_milp.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/milp/model.cpp" "src/milp/CMakeFiles/cohls_milp.dir/model.cpp.o" "gcc" "src/milp/CMakeFiles/cohls_milp.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/cohls_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

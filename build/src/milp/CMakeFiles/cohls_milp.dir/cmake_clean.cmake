@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/cohls_milp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/cohls_milp.dir/model.cpp.o"
+  "CMakeFiles/cohls_milp.dir/model.cpp.o.d"
+  "libcohls_milp.a"
+  "libcohls_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/assay.cpp" "src/model/CMakeFiles/cohls_model.dir/assay.cpp.o" "gcc" "src/model/CMakeFiles/cohls_model.dir/assay.cpp.o.d"
+  "/root/repo/src/model/compatibility.cpp" "src/model/CMakeFiles/cohls_model.dir/compatibility.cpp.o" "gcc" "src/model/CMakeFiles/cohls_model.dir/compatibility.cpp.o.d"
+  "/root/repo/src/model/components.cpp" "src/model/CMakeFiles/cohls_model.dir/components.cpp.o" "gcc" "src/model/CMakeFiles/cohls_model.dir/components.cpp.o.d"
+  "/root/repo/src/model/cost_model.cpp" "src/model/CMakeFiles/cohls_model.dir/cost_model.cpp.o" "gcc" "src/model/CMakeFiles/cohls_model.dir/cost_model.cpp.o.d"
+  "/root/repo/src/model/device.cpp" "src/model/CMakeFiles/cohls_model.dir/device.cpp.o" "gcc" "src/model/CMakeFiles/cohls_model.dir/device.cpp.o.d"
+  "/root/repo/src/model/operation.cpp" "src/model/CMakeFiles/cohls_model.dir/operation.cpp.o" "gcc" "src/model/CMakeFiles/cohls_model.dir/operation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_model.dir/assay.cpp.o"
+  "CMakeFiles/cohls_model.dir/assay.cpp.o.d"
+  "CMakeFiles/cohls_model.dir/compatibility.cpp.o"
+  "CMakeFiles/cohls_model.dir/compatibility.cpp.o.d"
+  "CMakeFiles/cohls_model.dir/components.cpp.o"
+  "CMakeFiles/cohls_model.dir/components.cpp.o.d"
+  "CMakeFiles/cohls_model.dir/cost_model.cpp.o"
+  "CMakeFiles/cohls_model.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cohls_model.dir/device.cpp.o"
+  "CMakeFiles/cohls_model.dir/device.cpp.o.d"
+  "CMakeFiles/cohls_model.dir/operation.cpp.o"
+  "CMakeFiles/cohls_model.dir/operation.cpp.o.d"
+  "libcohls_model.a"
+  "libcohls_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/list_scheduler.cpp" "src/schedule/CMakeFiles/cohls_schedule.dir/list_scheduler.cpp.o" "gcc" "src/schedule/CMakeFiles/cohls_schedule.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/objective.cpp" "src/schedule/CMakeFiles/cohls_schedule.dir/objective.cpp.o" "gcc" "src/schedule/CMakeFiles/cohls_schedule.dir/objective.cpp.o.d"
+  "/root/repo/src/schedule/transport_plan.cpp" "src/schedule/CMakeFiles/cohls_schedule.dir/transport_plan.cpp.o" "gcc" "src/schedule/CMakeFiles/cohls_schedule.dir/transport_plan.cpp.o.d"
+  "/root/repo/src/schedule/types.cpp" "src/schedule/CMakeFiles/cohls_schedule.dir/types.cpp.o" "gcc" "src/schedule/CMakeFiles/cohls_schedule.dir/types.cpp.o.d"
+  "/root/repo/src/schedule/validate.cpp" "src/schedule/CMakeFiles/cohls_schedule.dir/validate.cpp.o" "gcc" "src/schedule/CMakeFiles/cohls_schedule.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_schedule.dir/list_scheduler.cpp.o"
+  "CMakeFiles/cohls_schedule.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/cohls_schedule.dir/objective.cpp.o"
+  "CMakeFiles/cohls_schedule.dir/objective.cpp.o.d"
+  "CMakeFiles/cohls_schedule.dir/transport_plan.cpp.o"
+  "CMakeFiles/cohls_schedule.dir/transport_plan.cpp.o.d"
+  "CMakeFiles/cohls_schedule.dir/types.cpp.o"
+  "CMakeFiles/cohls_schedule.dir/types.cpp.o.d"
+  "CMakeFiles/cohls_schedule.dir/validate.cpp.o"
+  "CMakeFiles/cohls_schedule.dir/validate.cpp.o.d"
+  "libcohls_schedule.a"
+  "libcohls_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

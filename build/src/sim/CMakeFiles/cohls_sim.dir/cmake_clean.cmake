@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_sim.dir/runtime.cpp.o"
+  "CMakeFiles/cohls_sim.dir/runtime.cpp.o.d"
+  "libcohls_sim.a"
+  "libcohls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

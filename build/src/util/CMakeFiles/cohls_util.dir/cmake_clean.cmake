@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_util.dir/check.cpp.o"
+  "CMakeFiles/cohls_util.dir/check.cpp.o.d"
+  "CMakeFiles/cohls_util.dir/rng.cpp.o"
+  "CMakeFiles/cohls_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cohls_util.dir/symbolic_duration.cpp.o"
+  "CMakeFiles/cohls_util.dir/symbolic_duration.cpp.o.d"
+  "CMakeFiles/cohls_util.dir/table.cpp.o"
+  "CMakeFiles/cohls_util.dir/table.cpp.o.d"
+  "CMakeFiles/cohls_util.dir/time.cpp.o"
+  "CMakeFiles/cohls_util.dir/time.cpp.o.d"
+  "libcohls_util.a"
+  "libcohls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

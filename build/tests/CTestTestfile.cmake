@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("lp")
+subdirs("milp")
+subdirs("model")
+subdirs("schedule")
+subdirs("core")
+subdirs("baseline")
+subdirs("assays")
+subdirs("integration")
+subdirs("io")
+subdirs("sim")
+subdirs("layout")
+subdirs("chip")

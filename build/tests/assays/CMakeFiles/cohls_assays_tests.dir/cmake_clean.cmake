@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_assays_tests.dir/test_benchmarks.cpp.o"
+  "CMakeFiles/cohls_assays_tests.dir/test_benchmarks.cpp.o.d"
+  "CMakeFiles/cohls_assays_tests.dir/test_random_assay.cpp.o"
+  "CMakeFiles/cohls_assays_tests.dir/test_random_assay.cpp.o.d"
+  "cohls_assays_tests"
+  "cohls_assays_tests.pdb"
+  "cohls_assays_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_assays_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_baseline_tests.dir/test_conventional.cpp.o"
+  "CMakeFiles/cohls_baseline_tests.dir/test_conventional.cpp.o.d"
+  "cohls_baseline_tests"
+  "cohls_baseline_tests.pdb"
+  "cohls_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

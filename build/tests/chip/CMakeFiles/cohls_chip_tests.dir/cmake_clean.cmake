@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_chip_tests.dir/test_resources.cpp.o"
+  "CMakeFiles/cohls_chip_tests.dir/test_resources.cpp.o.d"
+  "cohls_chip_tests"
+  "cohls_chip_tests.pdb"
+  "cohls_chip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_chip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

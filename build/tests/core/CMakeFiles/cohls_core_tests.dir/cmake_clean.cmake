@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_core_tests.dir/test_hybrid_synthesizer.cpp.o"
+  "CMakeFiles/cohls_core_tests.dir/test_hybrid_synthesizer.cpp.o.d"
+  "CMakeFiles/cohls_core_tests.dir/test_ilp_layer_model.cpp.o"
+  "CMakeFiles/cohls_core_tests.dir/test_ilp_layer_model.cpp.o.d"
+  "CMakeFiles/cohls_core_tests.dir/test_layer_synthesizer.cpp.o"
+  "CMakeFiles/cohls_core_tests.dir/test_layer_synthesizer.cpp.o.d"
+  "CMakeFiles/cohls_core_tests.dir/test_layering.cpp.o"
+  "CMakeFiles/cohls_core_tests.dir/test_layering.cpp.o.d"
+  "CMakeFiles/cohls_core_tests.dir/test_progressive_resynthesis.cpp.o"
+  "CMakeFiles/cohls_core_tests.dir/test_progressive_resynthesis.cpp.o.d"
+  "CMakeFiles/cohls_core_tests.dir/test_transport_estimator.cpp.o"
+  "CMakeFiles/cohls_core_tests.dir/test_transport_estimator.cpp.o.d"
+  "cohls_core_tests"
+  "cohls_core_tests.pdb"
+  "cohls_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_digraph.cpp" "tests/graph/CMakeFiles/cohls_graph_tests.dir/test_digraph.cpp.o" "gcc" "tests/graph/CMakeFiles/cohls_graph_tests.dir/test_digraph.cpp.o.d"
+  "/root/repo/tests/graph/test_max_flow.cpp" "tests/graph/CMakeFiles/cohls_graph_tests.dir/test_max_flow.cpp.o" "gcc" "tests/graph/CMakeFiles/cohls_graph_tests.dir/test_max_flow.cpp.o.d"
+  "/root/repo/tests/graph/test_traversal.cpp" "tests/graph/CMakeFiles/cohls_graph_tests.dir/test_traversal.cpp.o" "gcc" "tests/graph/CMakeFiles/cohls_graph_tests.dir/test_traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

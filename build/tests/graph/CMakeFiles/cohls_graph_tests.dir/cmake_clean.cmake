@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_graph_tests.dir/test_digraph.cpp.o"
+  "CMakeFiles/cohls_graph_tests.dir/test_digraph.cpp.o.d"
+  "CMakeFiles/cohls_graph_tests.dir/test_max_flow.cpp.o"
+  "CMakeFiles/cohls_graph_tests.dir/test_max_flow.cpp.o.d"
+  "CMakeFiles/cohls_graph_tests.dir/test_traversal.cpp.o"
+  "CMakeFiles/cohls_graph_tests.dir/test_traversal.cpp.o.d"
+  "cohls_graph_tests"
+  "cohls_graph_tests.pdb"
+  "cohls_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

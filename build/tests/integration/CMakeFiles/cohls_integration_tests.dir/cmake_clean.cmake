@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_integration_tests.dir/test_end_to_end.cpp.o"
+  "CMakeFiles/cohls_integration_tests.dir/test_end_to_end.cpp.o.d"
+  "CMakeFiles/cohls_integration_tests.dir/test_table_shapes.cpp.o"
+  "CMakeFiles/cohls_integration_tests.dir/test_table_shapes.cpp.o.d"
+  "cohls_integration_tests"
+  "cohls_integration_tests.pdb"
+  "cohls_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_io_tests.dir/test_assay_text.cpp.o"
+  "CMakeFiles/cohls_io_tests.dir/test_assay_text.cpp.o.d"
+  "CMakeFiles/cohls_io_tests.dir/test_export.cpp.o"
+  "CMakeFiles/cohls_io_tests.dir/test_export.cpp.o.d"
+  "CMakeFiles/cohls_io_tests.dir/test_result_text.cpp.o"
+  "CMakeFiles/cohls_io_tests.dir/test_result_text.cpp.o.d"
+  "cohls_io_tests"
+  "cohls_io_tests.pdb"
+  "cohls_io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_layout_tests.dir/test_placement.cpp.o"
+  "CMakeFiles/cohls_layout_tests.dir/test_placement.cpp.o.d"
+  "CMakeFiles/cohls_layout_tests.dir/test_transport_from_layout.cpp.o"
+  "CMakeFiles/cohls_layout_tests.dir/test_transport_from_layout.cpp.o.d"
+  "cohls_layout_tests"
+  "cohls_layout_tests.pdb"
+  "cohls_layout_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_layout_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lp/test_lp_model.cpp" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_lp_model.cpp.o" "gcc" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_lp_model.cpp.o.d"
+  "/root/repo/tests/lp/test_presolve.cpp" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_presolve.cpp.o" "gcc" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_presolve.cpp.o.d"
+  "/root/repo/tests/lp/test_simplex_basic.cpp" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_simplex_basic.cpp.o" "gcc" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_simplex_basic.cpp.o.d"
+  "/root/repo/tests/lp/test_simplex_property.cpp" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_simplex_property.cpp.o" "gcc" "tests/lp/CMakeFiles/cohls_lp_tests.dir/test_simplex_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/cohls_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

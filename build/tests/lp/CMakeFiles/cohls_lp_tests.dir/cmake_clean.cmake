@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_lp_tests.dir/test_lp_model.cpp.o"
+  "CMakeFiles/cohls_lp_tests.dir/test_lp_model.cpp.o.d"
+  "CMakeFiles/cohls_lp_tests.dir/test_presolve.cpp.o"
+  "CMakeFiles/cohls_lp_tests.dir/test_presolve.cpp.o.d"
+  "CMakeFiles/cohls_lp_tests.dir/test_simplex_basic.cpp.o"
+  "CMakeFiles/cohls_lp_tests.dir/test_simplex_basic.cpp.o.d"
+  "CMakeFiles/cohls_lp_tests.dir/test_simplex_property.cpp.o"
+  "CMakeFiles/cohls_lp_tests.dir/test_simplex_property.cpp.o.d"
+  "cohls_lp_tests"
+  "cohls_lp_tests.pdb"
+  "cohls_lp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_lp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

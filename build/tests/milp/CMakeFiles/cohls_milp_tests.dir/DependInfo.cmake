@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/milp/test_milp_model.cpp" "tests/milp/CMakeFiles/cohls_milp_tests.dir/test_milp_model.cpp.o" "gcc" "tests/milp/CMakeFiles/cohls_milp_tests.dir/test_milp_model.cpp.o.d"
+  "/root/repo/tests/milp/test_milp_property.cpp" "tests/milp/CMakeFiles/cohls_milp_tests.dir/test_milp_property.cpp.o" "gcc" "tests/milp/CMakeFiles/cohls_milp_tests.dir/test_milp_property.cpp.o.d"
+  "/root/repo/tests/milp/test_milp_small.cpp" "tests/milp/CMakeFiles/cohls_milp_tests.dir/test_milp_small.cpp.o" "gcc" "tests/milp/CMakeFiles/cohls_milp_tests.dir/test_milp_small.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/milp/CMakeFiles/cohls_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cohls_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_milp_tests.dir/test_milp_model.cpp.o"
+  "CMakeFiles/cohls_milp_tests.dir/test_milp_model.cpp.o.d"
+  "CMakeFiles/cohls_milp_tests.dir/test_milp_property.cpp.o"
+  "CMakeFiles/cohls_milp_tests.dir/test_milp_property.cpp.o.d"
+  "CMakeFiles/cohls_milp_tests.dir/test_milp_small.cpp.o"
+  "CMakeFiles/cohls_milp_tests.dir/test_milp_small.cpp.o.d"
+  "cohls_milp_tests"
+  "cohls_milp_tests.pdb"
+  "cohls_milp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_milp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

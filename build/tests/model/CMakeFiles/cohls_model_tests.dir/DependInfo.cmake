@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_assay.cpp" "tests/model/CMakeFiles/cohls_model_tests.dir/test_assay.cpp.o" "gcc" "tests/model/CMakeFiles/cohls_model_tests.dir/test_assay.cpp.o.d"
+  "/root/repo/tests/model/test_compatibility.cpp" "tests/model/CMakeFiles/cohls_model_tests.dir/test_compatibility.cpp.o" "gcc" "tests/model/CMakeFiles/cohls_model_tests.dir/test_compatibility.cpp.o.d"
+  "/root/repo/tests/model/test_components.cpp" "tests/model/CMakeFiles/cohls_model_tests.dir/test_components.cpp.o" "gcc" "tests/model/CMakeFiles/cohls_model_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/model/test_cost_model.cpp" "tests/model/CMakeFiles/cohls_model_tests.dir/test_cost_model.cpp.o" "gcc" "tests/model/CMakeFiles/cohls_model_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/model/test_device.cpp" "tests/model/CMakeFiles/cohls_model_tests.dir/test_device.cpp.o" "gcc" "tests/model/CMakeFiles/cohls_model_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/model/test_operation.cpp" "tests/model/CMakeFiles/cohls_model_tests.dir/test_operation.cpp.o" "gcc" "tests/model/CMakeFiles/cohls_model_tests.dir/test_operation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_model_tests.dir/test_assay.cpp.o"
+  "CMakeFiles/cohls_model_tests.dir/test_assay.cpp.o.d"
+  "CMakeFiles/cohls_model_tests.dir/test_compatibility.cpp.o"
+  "CMakeFiles/cohls_model_tests.dir/test_compatibility.cpp.o.d"
+  "CMakeFiles/cohls_model_tests.dir/test_components.cpp.o"
+  "CMakeFiles/cohls_model_tests.dir/test_components.cpp.o.d"
+  "CMakeFiles/cohls_model_tests.dir/test_cost_model.cpp.o"
+  "CMakeFiles/cohls_model_tests.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/cohls_model_tests.dir/test_device.cpp.o"
+  "CMakeFiles/cohls_model_tests.dir/test_device.cpp.o.d"
+  "CMakeFiles/cohls_model_tests.dir/test_operation.cpp.o"
+  "CMakeFiles/cohls_model_tests.dir/test_operation.cpp.o.d"
+  "cohls_model_tests"
+  "cohls_model_tests.pdb"
+  "cohls_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

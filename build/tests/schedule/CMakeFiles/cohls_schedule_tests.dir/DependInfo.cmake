@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/schedule/test_list_scheduler.cpp" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_list_scheduler.cpp.o" "gcc" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_list_scheduler.cpp.o.d"
+  "/root/repo/tests/schedule/test_objective.cpp" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_objective.cpp.o" "gcc" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_objective.cpp.o.d"
+  "/root/repo/tests/schedule/test_transport_plan.cpp" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_transport_plan.cpp.o" "gcc" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_transport_plan.cpp.o.d"
+  "/root/repo/tests/schedule/test_types.cpp" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_types.cpp.o" "gcc" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_types.cpp.o.d"
+  "/root/repo/tests/schedule/test_validate.cpp" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_validate.cpp.o" "gcc" "tests/schedule/CMakeFiles/cohls_schedule_tests.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/cohls_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/assays/CMakeFiles/cohls_assays.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cohls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cohls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_schedule_tests.dir/test_list_scheduler.cpp.o"
+  "CMakeFiles/cohls_schedule_tests.dir/test_list_scheduler.cpp.o.d"
+  "CMakeFiles/cohls_schedule_tests.dir/test_objective.cpp.o"
+  "CMakeFiles/cohls_schedule_tests.dir/test_objective.cpp.o.d"
+  "CMakeFiles/cohls_schedule_tests.dir/test_transport_plan.cpp.o"
+  "CMakeFiles/cohls_schedule_tests.dir/test_transport_plan.cpp.o.d"
+  "CMakeFiles/cohls_schedule_tests.dir/test_types.cpp.o"
+  "CMakeFiles/cohls_schedule_tests.dir/test_types.cpp.o.d"
+  "CMakeFiles/cohls_schedule_tests.dir/test_validate.cpp.o"
+  "CMakeFiles/cohls_schedule_tests.dir/test_validate.cpp.o.d"
+  "cohls_schedule_tests"
+  "cohls_schedule_tests.pdb"
+  "cohls_schedule_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_schedule_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

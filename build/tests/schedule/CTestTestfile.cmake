@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/schedule
+# Build directory: /root/repo/build/tests/schedule
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/schedule/cohls_schedule_tests[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_sim_tests.dir/test_runtime.cpp.o"
+  "CMakeFiles/cohls_sim_tests.dir/test_runtime.cpp.o.d"
+  "cohls_sim_tests"
+  "cohls_sim_tests.pdb"
+  "cohls_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_check.cpp" "tests/util/CMakeFiles/cohls_util_tests.dir/test_check.cpp.o" "gcc" "tests/util/CMakeFiles/cohls_util_tests.dir/test_check.cpp.o.d"
+  "/root/repo/tests/util/test_ids.cpp" "tests/util/CMakeFiles/cohls_util_tests.dir/test_ids.cpp.o" "gcc" "tests/util/CMakeFiles/cohls_util_tests.dir/test_ids.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/util/CMakeFiles/cohls_util_tests.dir/test_rng.cpp.o" "gcc" "tests/util/CMakeFiles/cohls_util_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_symbolic_duration.cpp" "tests/util/CMakeFiles/cohls_util_tests.dir/test_symbolic_duration.cpp.o" "gcc" "tests/util/CMakeFiles/cohls_util_tests.dir/test_symbolic_duration.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/util/CMakeFiles/cohls_util_tests.dir/test_table.cpp.o" "gcc" "tests/util/CMakeFiles/cohls_util_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_time.cpp" "tests/util/CMakeFiles/cohls_util_tests.dir/test_time.cpp.o" "gcc" "tests/util/CMakeFiles/cohls_util_tests.dir/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cohls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_util_tests.dir/test_check.cpp.o"
+  "CMakeFiles/cohls_util_tests.dir/test_check.cpp.o.d"
+  "CMakeFiles/cohls_util_tests.dir/test_ids.cpp.o"
+  "CMakeFiles/cohls_util_tests.dir/test_ids.cpp.o.d"
+  "CMakeFiles/cohls_util_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/cohls_util_tests.dir/test_rng.cpp.o.d"
+  "CMakeFiles/cohls_util_tests.dir/test_symbolic_duration.cpp.o"
+  "CMakeFiles/cohls_util_tests.dir/test_symbolic_duration.cpp.o.d"
+  "CMakeFiles/cohls_util_tests.dir/test_table.cpp.o"
+  "CMakeFiles/cohls_util_tests.dir/test_table.cpp.o.d"
+  "CMakeFiles/cohls_util_tests.dir/test_time.cpp.o"
+  "CMakeFiles/cohls_util_tests.dir/test_time.cpp.o.d"
+  "cohls_util_tests"
+  "cohls_util_tests.pdb"
+  "cohls_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohls_synth.dir/cohls_synth.cpp.o"
+  "CMakeFiles/cohls_synth.dir/cohls_synth.cpp.o.d"
+  "cohls_synth"
+  "cohls_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohls_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
