@@ -1,14 +1,74 @@
 #include "core/hybrid_synthesizer.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "core/solve_hooks.hpp"
 
 namespace cohls::core {
 
+namespace {
+
+/// Solves one layer, going through the optional layer-solution cache and
+/// reporting the solve to the optional observer.
+LayerOutcome solve_with_hooks(const schedule::LayerRequest& request,
+                              const model::Assay& assay,
+                              const schedule::TransportPlan& transport,
+                              const SynthesisOptions& options,
+                              const model::DeviceInventory& inventory) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point begin = Clock::now();
+  const LayerSolveContext context{request,       assay,          transport,
+                                  options.costs, options.engine, inventory};
+
+  LayerOutcome outcome;
+  bool cache_hit = false;
+  if (options.layer_cache != nullptr) {
+    if (std::optional<LayerOutcome> cached = options.layer_cache->lookup(context)) {
+      outcome = std::move(*cached);
+      cache_hit = true;
+    }
+  }
+  if (!cache_hit) {
+    outcome = synthesize_layer(request, assay, transport, options.costs,
+                               options.engine, inventory);
+    // A solve truncated by cancellation would poison the cache: the next
+    // identical context, uncancelled, could legitimately do better.
+    if (options.layer_cache != nullptr && !outcome.milp_cancelled) {
+      options.layer_cache->store(context, outcome);
+    }
+  }
+
+  if (options.observer != nullptr) {
+    LayerSolveEvent event;
+    event.operation_count = static_cast<int>(request.ops.size());
+    event.cache_hit = cache_hit;
+    event.used_ilp = outcome.used_ilp;
+    event.milp_nodes = cache_hit ? 0 : outcome.milp_nodes;
+    event.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+    options.observer->on_layer_solve(event);
+  }
+  return outcome;
+}
+
+}  // namespace
+
 schedule::SynthesisResult run_pass(const model::Assay& assay, const LayerPlan& plan,
                                    const schedule::TransportPlan& transport,
-                                   const SynthesisOptions& options,
+                                   const SynthesisOptions& options_in,
                                    const std::vector<KnownDevice>& known_devices,
                                    const PassPolicy& policy) {
+  // Let branch-and-bound poll the pass-level token between nodes, unless the
+  // caller already installed a solver-specific one.
+  SynthesisOptions options_with_cancel;
+  const SynthesisOptions* effective = &options_in;
+  if (options_in.cancel.can_cancel() && !options_in.engine.milp.cancel.can_cancel()) {
+    options_with_cancel = options_in;
+    options_with_cancel.engine.milp.cancel = options_in.cancel;
+    effective = &options_with_cancel;
+  }
+  const SynthesisOptions& options = *effective;
+
   schedule::SynthesisResult result;
   result.devices = model::DeviceInventory(options.max_devices);
 
@@ -17,6 +77,7 @@ schedule::SynthesisResult run_pass(const model::Assay& assay, const LayerPlan& p
   std::vector<bool> hint_consumed(known_devices.size(), false);
 
   for (int li = 0; li < plan.layer_count(); ++li) {
+    options.cancel.check("synthesis pass");
     schedule::LayerRequest request;
     request.layer = LayerId{li};
     request.ops = plan.layer(li);
@@ -37,8 +98,8 @@ schedule::SynthesisResult run_pass(const model::Assay& assay, const LayerPlan& p
     request.new_config = policy.new_config;
     request.slot_size = policy.slot_size;
 
-    LayerOutcome outcome = synthesize_layer(request, assay, transport, options.costs,
-                                            options.engine, result.devices);
+    LayerOutcome outcome =
+        solve_with_hooks(request, assay, transport, options, result.devices);
     result.devices = std::move(outcome.inventory);
     for (const int key : outcome.result.consumed_hints) {
       hint_consumed[static_cast<std::size_t>(key)] = true;

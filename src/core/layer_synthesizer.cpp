@@ -114,6 +114,8 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
   try {
     const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
     const auto solution = milp::solve_milp(ilp.model(), engine.milp);
+    heuristic.milp_nodes = solution.nodes;
+    heuristic.milp_cancelled = solution.cancelled;
     if (solution.status != milp::MilpStatus::Optimal &&
         solution.status != milp::MilpStatus::Feasible) {
       return heuristic;
@@ -123,6 +125,8 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
     exact.result = ilp.decode(solution.values, exact.inventory);
     exact.used_ilp = true;
     exact.score = layer_score(exact.result, exact.inventory, request, assay, costs);
+    exact.milp_nodes = solution.nodes;
+    exact.milp_cancelled = solution.cancelled;
     return exact.score < heuristic.score - 1e-9 ? exact : heuristic;
   } catch (const InfeasibleError&) {
     return heuristic;  // e.g. inventory exhausted while decoding

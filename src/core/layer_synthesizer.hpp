@@ -17,6 +17,13 @@ struct LayerOutcome {
   bool used_ilp = false;
   /// The layer-local objective of the kept result (for diagnostics).
   double score = 0.0;
+  /// Branch-and-bound nodes the MILP spent on this layer (0 when the
+  /// heuristic ran alone), for the engine's metrics.
+  long milp_nodes = 0;
+  /// The MILP stopped on a cancellation token rather than on exhaustion or
+  /// a budget. The outcome (the heuristic fallback) is still usable, but it
+  /// must not be cached: a fresh solve could return something better.
+  bool milp_cancelled = false;
 };
 
 /// Scores one layer's contribution to the paper's objective: C_t * layer

@@ -10,8 +10,12 @@
 #include "milp/branch_and_bound.hpp"
 #include "model/cost_model.hpp"
 #include "schedule/transport_plan.hpp"
+#include "util/cancellation.hpp"
 
 namespace cohls::core {
+
+class LayerSolveCache;  // solve_hooks.hpp
+class SolveObserver;    // solve_hooks.hpp
 
 /// How per-edge transport times are refined between re-synthesis
 /// iterations (Sec. 4.1). `Progression` is the paper's method: path-usage
@@ -39,7 +43,14 @@ struct EngineOptions {
   /// Budget per layer solve. The MILP runs once per layer per re-synthesis
   /// iteration with the heuristic result as a safety net, so the default
   /// budget is deliberately small; raise it to chase exactness.
-  milp::MilpOptions milp{.max_nodes = 20000, .time_limit_seconds = 2.0};
+  milp::MilpOptions milp = default_layer_milp_options();
+
+  [[nodiscard]] static milp::MilpOptions default_layer_milp_options() {
+    milp::MilpOptions options;
+    options.max_nodes = 20000;
+    options.time_limit_seconds = 2.0;
+    return options;
+  }
 };
 
 struct SynthesisOptions {
@@ -66,6 +77,15 @@ struct SynthesisOptions {
   /// Multi-start: run the whole flow this many times with different
   /// layering tie-break seeds and keep the best result. 1 = single run.
   int restarts = 1;
+  /// Cooperative cancellation: checked between layers, re-synthesis
+  /// iterations and branch-and-bound nodes. When it fires, synthesize()
+  /// throws CancelledError. The default token never cancels.
+  CancellationToken cancel{};
+  /// Optional memoization of per-layer solves (owned by the caller — the
+  /// batch engine shares one cache across jobs). Null disables caching.
+  LayerSolveCache* layer_cache = nullptr;
+  /// Optional per-layer-solve metrics sink (owned by the caller).
+  SolveObserver* observer = nullptr;
 };
 
 }  // namespace cohls::core

@@ -47,6 +47,7 @@ SynthesisReport synthesize_single(const model::Assay& assay,
   double best_objective = report.iterations.back().objective.weighted_total;
 
   for (int iteration = 1; iteration <= options.max_resynthesis_iterations; ++iteration) {
+    options.cancel.check("progressive re-synthesis");
     const schedule::TransportPlan refined =
         options.transport_refinement == TransportRefinement::Layout
             ? layout::transport_from_layout(
@@ -89,6 +90,7 @@ SynthesisReport synthesize(const model::Assay& assay, const SynthesisOptions& op
   double best_objective =
       schedule::evaluate_objective(best.result, assay, options.costs).weighted_total;
   for (int restart = 1; restart < options.restarts; ++restart) {
+    options.cancel.check("synthesis restart");
     SynthesisOptions varied = options;
     // Different tie-break seeds reshuffle the layering's random choice of
     // eligible indeterminate operations (Algorithm 1 L13).

@@ -1,0 +1,57 @@
+// Hook points the concurrent batch engine (src/engine) plugs into the
+// synthesis flow. They live in core so the flow stays free of engine
+// dependencies: run_pass consults an optional LayerSolveCache before
+// invoking the per-layer solver, and reports every layer solve to an
+// optional SolveObserver. Both interfaces must be thread-safe when shared
+// across concurrent syntheses — core calls them without locking.
+#pragma once
+
+#include <optional>
+
+#include "core/layer_synthesizer.hpp"
+
+namespace cohls::core {
+
+/// Everything synthesize_layer reads, bundled so cache implementations can
+/// derive a complete solution signature from one place.
+struct LayerSolveContext {
+  const schedule::LayerRequest& request;
+  const model::Assay& assay;
+  const schedule::TransportPlan& transport;
+  const model::CostModel& costs;
+  const EngineOptions& engine;
+  const model::DeviceInventory& inventory;
+};
+
+/// Memoization of per-layer solves. `lookup` returns a LayerOutcome
+/// equivalent to what synthesize_layer would produce for the context (with
+/// the outcome's inventory already extended by any devices the cached
+/// solution instantiates), or nullopt on a miss. Implementations decide
+/// which contexts are cacheable; returning nullopt is always sound.
+class LayerSolveCache {
+ public:
+  virtual ~LayerSolveCache() = default;
+  [[nodiscard]] virtual std::optional<LayerOutcome> lookup(
+      const LayerSolveContext& context) = 0;
+  virtual void store(const LayerSolveContext& context, const LayerOutcome& outcome) = 0;
+};
+
+/// One per-layer solve, as seen by run_pass.
+struct LayerSolveEvent {
+  int operation_count = 0;
+  bool cache_hit = false;
+  bool used_ilp = false;
+  /// Branch-and-bound nodes spent (0 for heuristic-only and cached solves).
+  long milp_nodes = 0;
+  /// Wall time of the solve (or of the cache lookup, when it hit).
+  double seconds = 0.0;
+};
+
+/// Metrics sink; the engine adapts this onto its MetricsRegistry.
+class SolveObserver {
+ public:
+  virtual ~SolveObserver() = default;
+  virtual void on_layer_solve(const LayerSolveEvent& event) = 0;
+};
+
+}  // namespace cohls::core

@@ -1,0 +1,274 @@
+#include "engine/batch.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "baseline/conventional.hpp"
+#include "engine/thread_pool.hpp"
+#include "io/assay_text.hpp"
+#include "io/result_text.hpp"
+#include "schedule/objective.hpp"
+#include "schedule/validate.hpp"
+#include "util/check.hpp"
+
+namespace cohls::engine {
+
+namespace {
+
+/// Adapts the core's per-layer solve events onto the metrics registry.
+class MetricsObserver final : public core::SolveObserver {
+ public:
+  explicit MetricsObserver(MetricsRegistry& metrics)
+      : layers_solved_(metrics.counter("layers_solved")),
+        layer_cache_hits_(metrics.counter("layer_cache_hits")),
+        ilp_layers_(metrics.counter("ilp_layers")),
+        milp_nodes_(metrics.counter("milp_nodes")),
+        solve_seconds_(metrics.histogram("layer_solve_seconds")) {}
+
+  void on_layer_solve(const core::LayerSolveEvent& event) override {
+    if (event.cache_hit) {
+      layer_cache_hits_.increment();
+    } else {
+      layers_solved_.increment();
+    }
+    if (event.used_ilp) {
+      ilp_layers_.increment();
+    }
+    milp_nodes_.add(event.milp_nodes);
+    solve_seconds_.observe(event.seconds);
+  }
+
+ private:
+  Counter& layers_solved_;
+  Counter& layer_cache_hits_;
+  Counter& ilp_layers_;
+  Counter& milp_nodes_;
+  Histogram& solve_seconds_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  COHLS_EXPECT(static_cast<bool>(file), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Ok:
+      return "ok";
+    case JobStatus::ParseError:
+      return "parse-error";
+    case JobStatus::Infeasible:
+      return "infeasible";
+    case JobStatus::Invalid:
+      return "invalid";
+    case JobStatus::Cancelled:
+      return "cancelled";
+    case JobStatus::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+BatchEngine::BatchEngine(BatchOptions options)
+    : options_(options),
+      cache_(options.cache_capacity > 0 ? options.cache_capacity : 1) {
+  cache_.set_verify_hits(options_.verify_cache_hits);
+}
+
+BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& token) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point begin = Clock::now();
+  MetricsObserver observer(metrics_);
+
+  BatchResult row;
+  row.name = !job.name.empty() ? job.name : job.path;
+  try {
+    const std::string text = job.text.has_value() ? *job.text : read_file(job.path);
+    const model::Assay assay = io::assay_from_text(text);
+    if (row.name.empty()) {
+      row.name = assay.name();
+    }
+
+    core::SynthesisOptions options = job.options;
+    options.cancel = token;
+    options.observer = &observer;
+    if (options_.cache_capacity > 0) {
+      options.layer_cache = &cache_;
+    }
+    if (options_.deterministic_budgets) {
+      // Wall-clock budgets make the layer solver load-dependent, which
+      // breaks both the cache and --jobs determinism; fall back to a node
+      // budget when the caller left the MILP unbounded.
+      options.engine.milp.time_limit_seconds = 0.0;
+      if (options.engine.milp.max_nodes <= 0) {
+        options.engine.milp.max_nodes = 20000;
+      }
+    }
+
+    const core::SynthesisReport report =
+        job.conventional ? baseline::synthesize_conventional(assay, options)
+                         : core::synthesize(assay, options);
+
+    const auto violations =
+        schedule::validate_result(report.result, assay, report.transport);
+    row.status = violations.empty() ? JobStatus::Ok : JobStatus::Invalid;
+    if (!violations.empty()) {
+      row.detail = violations.front();
+    }
+
+    std::ostringstream time_text;
+    time_text << report.result.total_time(assay);
+    row.summary.execution_time = time_text.str();
+    row.summary.devices = report.result.used_device_count();
+    row.summary.paths = report.result.path_count(assay);
+    row.summary.layers = static_cast<int>(report.result.layers.size());
+    row.summary.resynthesis_iterations =
+        static_cast<int>(report.iterations.size()) - 1;
+    row.summary.objective =
+        schedule::evaluate_objective(report.result, assay, options.costs)
+            .weighted_total;
+    row.result_text = io::to_text(report.result, assay);
+  } catch (const io::ParseError& e) {
+    row.status = JobStatus::ParseError;
+    row.detail = e.what();
+  } catch (const CancelledError& e) {
+    row.status = JobStatus::Cancelled;
+    row.detail = e.what();
+  } catch (const InfeasibleError& e) {
+    row.status = JobStatus::Infeasible;
+    row.detail = e.what();
+  } catch (const std::exception& e) {
+    row.status = JobStatus::Error;
+    row.detail = e.what();
+  }
+  row.wall_seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+
+  metrics_.counter("jobs_completed").increment();
+  if (row.status == JobStatus::Cancelled) {
+    metrics_.counter("jobs_cancelled").increment();
+  } else if (row.status != JobStatus::Ok) {
+    metrics_.counter("jobs_failed").increment();
+  }
+  metrics_.histogram("job_seconds").observe(row.wall_seconds);
+  return row;
+}
+
+std::vector<BatchResult> BatchEngine::run(const std::vector<BatchJob>& jobs) {
+  // Rows are pre-sized so each worker writes its own slot: results come back
+  // in manifest order no matter how the pool interleaves the jobs.
+  std::vector<BatchResult> rows(jobs.size());
+  ThreadPool pool(options_.jobs);
+  {
+    std::lock_guard lock(pool_mutex_);
+    active_pool_ = &pool;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJob& job = jobs[i];
+    const double deadline = job.deadline_seconds > 0.0
+                                ? job.deadline_seconds
+                                : options_.default_deadline_seconds;
+    futures.push_back(pool.submit(
+        [this, &job, &rows, i](const CancellationToken& token) {
+          rows[i] = run_one(job, token);
+        },
+        deadline));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      futures[i].get();
+    } catch (const std::future_error&) {
+      // stop() abandoned the queued job before it started.
+      rows[i].name = !jobs[i].name.empty() ? jobs[i].name : jobs[i].path;
+      rows[i].status = JobStatus::Cancelled;
+      rows[i].detail = "batch stopped before the job started";
+    } catch (const CancelledError& e) {
+      // Submitted after stop(); run_one never ran.
+      rows[i].name = !jobs[i].name.empty() ? jobs[i].name : jobs[i].path;
+      rows[i].status = JobStatus::Cancelled;
+      rows[i].detail = e.what();
+    }
+  }
+  {
+    std::lock_guard lock(pool_mutex_);
+    active_pool_ = nullptr;
+  }
+  return rows;
+}
+
+void BatchEngine::stop() {
+  std::lock_guard lock(pool_mutex_);
+  if (active_pool_ != nullptr) {
+    active_pool_->stop();
+  }
+}
+
+std::string BatchEngine::report() const {
+  const CacheStats cache = cache_.stats();
+  std::ostringstream out;
+  out << metrics_.text_report();
+  out << "layer cache: " << cache.hits << " hits, " << cache.misses
+      << " misses, " << cache.stores << " stores, " << cache.evictions
+      << " evictions (hit rate ";
+  out.precision(3);
+  out << cache.hit_rate() << ", " << cache_.size() << '/' << cache_.capacity()
+      << " entries)\n";
+  return out.str();
+}
+
+std::string BatchEngine::metrics_json() const {
+  const CacheStats cache = cache_.stats();
+  std::map<std::string, std::int64_t> extra{
+      {"layer_cache_hit_count", cache.hits},
+      {"layer_cache_miss_count", cache.misses},
+      {"layer_cache_store_count", cache.stores},
+      {"layer_cache_eviction_count", cache.evictions},
+  };
+  std::ostringstream out;
+  const std::string base = metrics_.json();
+  // Splice the cache block into the registry's top-level object.
+  COHLS_ASSERT(!base.empty() && base.back() == '}', "malformed metrics JSON");
+  out << base.substr(0, base.size() - 1) << ", \"cache\": {";
+  bool first = true;
+  for (const auto& [name, value] : extra) {
+    out << (first ? "" : ", ") << '"' << name << "\": " << value;
+    first = false;
+  }
+  out << ", \"hit_rate\": " << cache.hit_rate() << "}}";
+  return out.str();
+}
+
+std::vector<BatchJob> jobs_from_manifest(const std::string& manifest_text,
+                                         const std::string& base_dir,
+                                         const core::SynthesisOptions& options) {
+  std::vector<BatchJob> jobs;
+  std::istringstream in(manifest_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    const std::string path = line.substr(begin, end - begin + 1);
+    BatchJob job;
+    job.name = path;
+    job.path = (!base_dir.empty() && path.front() != '/') ? base_dir + "/" + path
+                                                          : path;
+    job.options = options;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace cohls::engine

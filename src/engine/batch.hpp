@@ -1,0 +1,126 @@
+// The concurrent batch-synthesis engine: fans a manifest of assays out
+// across a thread pool, sharing one layer-solution cache and one metrics
+// registry among the workers. Results are reported in manifest order
+// regardless of completion order, and — because the cache key is a complete
+// canonical signature and the per-layer solver budgets are deterministic —
+// the synthesized results are bit-identical for any job count.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/progressive_resynthesis.hpp"
+#include "engine/layer_cache.hpp"
+#include "engine/metrics.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace cohls::engine {
+
+/// One unit of work: an assay, by file path or inline text.
+struct BatchJob {
+  /// Display name (defaults to the path / assay name when empty).
+  std::string name;
+  /// Assay source: `text` wins when set, else `path` is read.
+  std::string path;
+  std::optional<std::string> text;
+  /// Synthesis configuration for this job.
+  core::SynthesisOptions options;
+  /// Use the modified conventional baseline instead (uncached policy pass).
+  bool conventional = false;
+  /// Per-job wall-clock budget in seconds (0 = none). Measured from
+  /// submission, so queue wait counts against the job.
+  double deadline_seconds = 0.0;
+};
+
+enum class JobStatus {
+  Ok,
+  ParseError,  ///< the assay text did not parse
+  Infeasible,  ///< synthesis proved there is no feasible schedule
+  Invalid,     ///< a result was produced but failed validation
+  Cancelled,   ///< deadline or engine stop fired mid-synthesis
+  Error,       ///< any other failure (unreadable file, internal error)
+};
+
+[[nodiscard]] std::string to_string(JobStatus status);
+
+struct BatchRowSummary {
+  std::string execution_time;  ///< symbolic, e.g. "277m+I1"
+  int devices = 0;
+  int paths = 0;
+  int layers = 0;
+  int resynthesis_iterations = 0;
+  double objective = 0.0;
+};
+
+struct BatchResult {
+  std::string name;
+  JobStatus status = JobStatus::Error;
+  /// Failure detail (exception message, validation violation) when not Ok.
+  std::string detail;
+  BatchRowSummary summary;
+  /// The io::to_text serialization of the result (empty unless Ok/Invalid);
+  /// this is the artifact the determinism guarantee is stated over.
+  std::string result_text;
+  double wall_seconds = 0.0;
+};
+
+struct BatchOptions {
+  /// Worker threads.
+  int jobs = 1;
+  /// Layer-solution cache capacity (entries); 0 disables the cache.
+  std::size_t cache_capacity = 4096;
+  /// Replace wall-clock MILP budgets with node budgets, so a layer solve
+  /// returns the same result regardless of machine load. Required for the
+  /// cache to be sound and for --jobs N determinism; disable only for
+  /// latency experiments.
+  bool deterministic_budgets = true;
+  /// Default per-job deadline applied when a job does not set its own.
+  double default_deadline_seconds = 0.0;
+  /// Debug: verify every cache hit against a fresh solve (see
+  /// LayerSolutionCache::set_verify_hits).
+  bool verify_cache_hits = false;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchOptions options = {});
+
+  /// Runs all jobs to completion (or to their deadlines) and returns one
+  /// result per job, in input order. May be called repeatedly; the cache
+  /// and metrics persist across calls, so a re-submitted assay hits.
+  [[nodiscard]] std::vector<BatchResult> run(const std::vector<BatchJob>& jobs);
+
+  /// Requests cancellation of the batch currently in flight (no-op when
+  /// idle). Running jobs report JobStatus::Cancelled; queued jobs never
+  /// start.
+  void stop();
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const LayerSolutionCache& cache() const { return cache_; }
+
+  /// Metrics text report including cache totals.
+  [[nodiscard]] std::string report() const;
+  /// Metrics JSON dump; cache totals appear as counters
+  /// (layer_cache_hits/misses/stores/evictions) plus "cache_hit_rate".
+  [[nodiscard]] std::string metrics_json() const;
+
+ private:
+  [[nodiscard]] BatchResult run_one(const BatchJob& job, const CancellationToken& token);
+
+  BatchOptions options_;
+  MetricsRegistry metrics_;
+  LayerSolutionCache cache_;
+  /// The pool of the run() in flight, so stop() can reach it.
+  mutable std::mutex pool_mutex_;
+  ThreadPool* active_pool_ = nullptr;
+};
+
+/// Parses a manifest: one assay-file path per line, '#' comments and blank
+/// lines ignored; relative paths resolve against `base_dir`.
+[[nodiscard]] std::vector<BatchJob> jobs_from_manifest(
+    const std::string& manifest_text, const std::string& base_dir,
+    const core::SynthesisOptions& options = {});
+
+}  // namespace cohls::engine

@@ -1,0 +1,115 @@
+// Sharded, thread-safe, capacity-bounded (LRU) cache of per-layer solutions,
+// keyed by the canonical layer signature. Solutions are stored in a
+// device-id- and operation-id-independent form (canonical ranks), so a hit
+// can be decoded into any context that produced the same signature —
+// replicated pipelines, re-submitted assays, converged re-synthesis
+// iterations. Lookup compares the full signature text, so a 64-bit hash
+// collision degrades to a miss, never to a wrong answer.
+//
+// Caching is only sound when the per-layer solver is deterministic for a
+// given context; wall-clock MILP budgets violate that, so the batch engine
+// replaces them with node budgets (see BatchOptions::deterministic_budgets).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solve_hooks.hpp"
+#include "engine/layer_signature.hpp"
+
+namespace cohls::engine {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t stores = 0;
+  std::int64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class LayerSolutionCache final : public core::LayerSolveCache {
+ public:
+  /// `capacity` bounds the number of cached layer solutions across all
+  /// shards; `shards` spreads lock contention (clamped to [1, capacity]).
+  explicit LayerSolutionCache(std::size_t capacity = 4096, int shards = 16);
+
+  /// Never throws business logic at callers: uncacheable contexts and
+  /// signature mismatches simply miss.
+  [[nodiscard]] std::optional<core::LayerOutcome> lookup(
+      const core::LayerSolveContext& context) override;
+  void store(const core::LayerSolveContext& context,
+             const core::LayerOutcome& outcome) override;
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Debug/test mode: on every hit, also solve the layer from scratch and
+  /// assert the solutions are identical. Expensive — defeats the cache's
+  /// purpose — but turns any signature-completeness bug into a loud failure.
+  void set_verify_hits(bool verify) { verify_hits_ = verify; }
+
+  // --- canonical solution form (exposed for white-box tests) ---------------
+  struct CachedItem {
+    int op_rank = 0;      ///< rank of the op within the layer (id order)
+    int device_ref = 0;   ///< < |inherited|: inventory position; else created
+    std::int64_t start = 0;
+    std::int64_t duration = 0;
+    std::int64_t transport = 0;
+
+    friend bool operator==(const CachedItem&, const CachedItem&) = default;
+  };
+  struct CachedSolution {
+    std::vector<CachedItem> items;  ///< in schedule emission order
+    std::vector<model::DeviceConfig> created;  ///< instantiation order
+    std::vector<int> consumed_hints;           ///< positions in request.hints
+    bool used_ilp = false;
+    double score = 0.0;
+    long milp_nodes = 0;
+
+    friend bool operator==(const CachedSolution&, const CachedSolution&) = default;
+  };
+
+  /// Canonicalizes an outcome for storage.
+  [[nodiscard]] static CachedSolution encode(const core::LayerSolveContext& context,
+                                             const core::LayerOutcome& outcome);
+  /// Reconstructs an outcome in the given context (instantiates the created
+  /// devices into a copy of the context's inventory).
+  [[nodiscard]] static core::LayerOutcome decode(const core::LayerSolveContext& context,
+                                                 const CachedSolution& cached);
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedSolution value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t stores = 0;
+    std::int64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) {
+    return shards_[static_cast<std::size_t>(hash % shards_.size())];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  bool verify_hits_ = false;
+};
+
+}  // namespace cohls::engine

@@ -1,0 +1,131 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cohls::engine {
+
+namespace {
+
+constexpr double kFirstBound = 1e-6;  // 1 microsecond
+
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out << std::setprecision(4) << seconds << "s";
+  return out.str();
+}
+
+}  // namespace
+
+double Histogram::bucket_bound(int i) {
+  return kFirstBound * std::pow(2.0, i);
+}
+
+void Histogram::observe(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  int bucket = 0;
+  while (bucket < kBuckets && seconds > bucket_bound(bucket)) {
+    ++bucket;
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+double Histogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n <= 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      const double lower = i == 0 ? 0.0 : bucket_bound(i - 1);
+      const double upper = bucket_bound(std::min(i, kBuckets - 1));
+      const double fraction = std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::text_report() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "metrics:\n";
+  std::size_t width = 0;
+  for (const auto& [name, unused] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, unused] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : counters_) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name << "  "
+        << value->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name << "  count "
+        << histogram->count() << ", total " << format_seconds(histogram->total_seconds())
+        << ", p50 " << format_seconds(histogram->quantile(0.50)) << ", p95 "
+        << format_seconds(histogram->quantile(0.95)) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "" : ", ") << "\"" << name << "\": " << value->value();
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ", ") << "\"" << name << "\": {\"count\": " << histogram->count()
+        << ", \"total_seconds\": " << histogram->total_seconds()
+        << ", \"p50\": " << histogram->quantile(0.50)
+        << ", \"p95\": " << histogram->quantile(0.95) << "}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace cohls::engine

@@ -1,0 +1,80 @@
+// Run metrics for the batch-synthesis engine: named monotonic counters and
+// latency histograms, safe to update from many worker threads without
+// coordination beyond atomics. A registry renders itself as an aligned text
+// report (for terminals) and as a machine-readable JSON dump (for CI and
+// dashboards). Metric objects are created on first use and live as long as
+// the registry; references handed out stay valid, so hot paths can cache
+// them and update lock-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cohls::engine {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A latency histogram over geometric buckets (factor 2 from 1 microsecond
+/// up; everything slower than the last boundary lands in an overflow
+/// bucket). Quantiles are estimated by linear interpolation within the
+/// containing bucket — coarse, but monotone, thread-safe and allocation-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void observe(double seconds);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_seconds() const;
+  /// Estimated q-quantile in seconds, q in [0, 1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Upper boundary of bucket `i` in seconds (exposed for tests).
+  [[nodiscard]] static double bucket_bound(int i);
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  /// Total in nanoseconds so the sum can be a lock-free integer atomic.
+  std::atomic<std::int64_t> total_nanos_{0};
+};
+
+/// Named metrics, created on demand. Reports list metrics in name order, so
+/// output is stable across runs and thread schedules.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Aligned human-readable report.
+  [[nodiscard]] std::string text_report() const;
+  /// {"counters": {name: value, ...},
+  ///  "histograms": {name: {"count": n, "total_seconds": s,
+  ///                        "p50": s, "p95": s}, ...}}
+  [[nodiscard]] std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cohls::engine

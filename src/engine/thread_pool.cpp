@@ -1,0 +1,97 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cohls::engine {
+
+ThreadPool::ThreadPool(int threads) {
+  threads = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void(const CancellationToken&)> job,
+                                     double deadline_seconds) {
+  // The token is fixed at submission so the deadline covers queue wait too:
+  // a saturated pool cannot grant a job more budget than its caller asked.
+  CancellationToken token = stop_source_.token_with_deadline(deadline_seconds);
+  std::packaged_task<void()> task(
+      [job = std::move(job), token = std::move(token)] { job(token); });
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_ || discard_queued_) {
+      // Late submission: fail the future instead of silently dropping it.
+      try {
+        throw CancelledError("thread pool stopped");
+      } catch (...) {
+        std::promise<void> broken;
+        future = broken.get_future();
+        broken.set_exception(std::current_exception());
+      }
+      return future;
+    }
+    queue_.push_back(Job{std::move(task)});
+    ++in_flight_;
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::stop() {
+  std::deque<Job> abandoned;
+  {
+    std::lock_guard lock(mutex_);
+    discard_queued_ = true;
+    abandoned.swap(queue_);
+    in_flight_ -= static_cast<int>(abandoned.size());
+  }
+  stop_source_.request_stop();
+  wake_.notify_all();
+  // Dropping the abandoned tasks breaks their futures with
+  // std::future_error(broken_promise) — the "never ran" signal callers of
+  // stop() are expected to tolerate. Jobs already running observe their
+  // token and wind down cooperatively.
+  abandoned.clear();
+}
+
+int ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job.task();  // packaged_task captures exceptions into the future
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+}  // namespace cohls::engine

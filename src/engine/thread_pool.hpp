@@ -1,0 +1,66 @@
+// Fixed-size thread-pool executor with a FIFO job queue. Each submitted job
+// receives a CancellationToken derived from the pool-wide stop source plus
+// the job's own deadline, so shutdown and per-job time budgets reach
+// cooperative solver loops through one handle. The pool never drops queued
+// work on normal destruction (it drains the queue, then joins); `stop()`
+// requests cancellation of everything and discards jobs that have not
+// started.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/cancellation.hpp"
+
+namespace cohls::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains remaining jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. The job's token cancels when `stop()` is called or —
+  /// with `deadline_seconds > 0` — once that budget (measured from
+  /// submission) elapses. The returned future carries the job's exception,
+  /// if any.
+  std::future<void> submit(std::function<void(const CancellationToken&)> job,
+                           double deadline_seconds = 0.0);
+
+  /// Requests cancellation: running jobs see their token fire, queued jobs
+  /// that have not started are abandoned (their futures get a
+  /// CancelledError).
+  void stop();
+
+  [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
+  /// Jobs submitted but not yet finished.
+  [[nodiscard]] int pending() const;
+
+ private:
+  struct Job {
+    std::packaged_task<void()> task;
+  };
+
+  void worker_loop();
+
+  CancellationSource stop_source_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Job> queue_;
+  int in_flight_ = 0;  // queued + running
+  bool shutdown_ = false;
+  bool discard_queued_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cohls::engine

@@ -69,6 +69,11 @@ class Solver {
     bool any_lp_solved = false;
 
     while (!stack.empty()) {
+      if (options_.cancel.can_cancel() && options_.cancel.cancelled()) {
+        exhausted = false;
+        cancelled_ = true;
+        break;
+      }
       if (limit_reached()) {
         exhausted = false;
         break;
@@ -139,6 +144,7 @@ class Solver {
     }
 
     out.nodes = nodes_;
+    out.cancelled = cancelled_;
     out.best_bound = exhausted && has_incumbent() ? incumbent_value_ : global_bound;
     if (has_incumbent()) {
       out.values = incumbent_;
@@ -238,6 +244,7 @@ class Solver {
   bool deadline_set_;
   Clock::time_point deadline_{};
   long nodes_ = 0;
+  bool cancelled_ = false;
   std::vector<double> incumbent_;
   double incumbent_value_ = std::numeric_limits<double>::infinity();
 };

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "milp/model.hpp"
+#include "util/cancellation.hpp"
 
 namespace cohls::milp {
 
@@ -34,6 +35,10 @@ struct MilpOptions {
   std::optional<std::vector<double>> warm_start;
   /// Try rounding fractional LP relaxations into incumbents.
   bool enable_rounding_heuristic = true;
+  /// Cooperative cancellation: polled between nodes. A cancelled solve
+  /// returns like a limit-hit one (Feasible with the incumbent so far, or
+  /// NoSolution) with `cancelled` set in the solution.
+  CancellationToken cancel{};
 };
 
 struct MilpSolution {
@@ -42,6 +47,8 @@ struct MilpSolution {
   std::vector<double> values;  ///< incumbent when status is Optimal/Feasible
   double best_bound = -kBigBound;
   long nodes = 0;
+  /// True when the search stopped because MilpOptions::cancel fired.
+  bool cancelled = false;
 
   static constexpr double kBigBound = 1e100;
 };

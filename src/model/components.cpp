@@ -1,6 +1,7 @@
 #include "model/components.hpp"
 
 #include <bit>
+#include <mutex>
 #include <sstream>
 
 namespace cohls::model {
@@ -40,30 +41,81 @@ AccessoryRegistry::AccessoryRegistry() {
   costs_ = {3.0, 2.5, 4.0, 1.5, 1.0};
 }
 
-AccessoryId AccessoryRegistry::register_accessory(std::string name, double processing_cost) {
-  COHLS_EXPECT(!name.empty(), "accessory name must be non-empty");
-  COHLS_EXPECT(find(name) < 0, "accessory name already registered");
-  COHLS_EXPECT(processing_cost >= 0.0, "processing cost must be non-negative");
-  COHLS_EXPECT(count() < kMaxAccessories, "accessory registry is full");
-  names_.push_back(std::move(name));
-  costs_.push_back(processing_cost);
-  return count() - 1;
+AccessoryRegistry::AccessoryRegistry(const AccessoryRegistry& other) {
+  std::shared_lock lock(other.mutex_);
+  names_ = other.names_;
+  costs_ = other.costs_;
 }
 
-const std::string& AccessoryRegistry::name(AccessoryId id) const {
-  COHLS_EXPECT(id >= 0 && id < count(), "unknown accessory id");
+AccessoryRegistry::AccessoryRegistry(AccessoryRegistry&& other) noexcept {
+  std::unique_lock lock(other.mutex_);
+  names_ = std::move(other.names_);
+  costs_ = std::move(other.costs_);
+}
+
+AccessoryRegistry& AccessoryRegistry::operator=(const AccessoryRegistry& other) {
+  if (this == &other) {
+    return *this;
+  }
+  std::vector<std::string> names;
+  std::vector<double> costs;
+  {
+    std::shared_lock lock(other.mutex_);
+    names = other.names_;
+    costs = other.costs_;
+  }
+  std::unique_lock lock(mutex_);
+  names_ = std::move(names);
+  costs_ = std::move(costs);
+  return *this;
+}
+
+AccessoryRegistry& AccessoryRegistry::operator=(AccessoryRegistry&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  std::scoped_lock lock(mutex_, other.mutex_);
+  names_ = std::move(other.names_);
+  costs_ = std::move(other.costs_);
+  return *this;
+}
+
+AccessoryId AccessoryRegistry::register_accessory(std::string name, double processing_cost) {
+  COHLS_EXPECT(!name.empty(), "accessory name must be non-empty");
+  COHLS_EXPECT(processing_cost >= 0.0, "processing cost must be non-negative");
+  std::unique_lock lock(mutex_);
+  for (const std::string& existing : names_) {
+    COHLS_EXPECT(existing != name, "accessory name already registered");
+  }
+  COHLS_EXPECT(static_cast<int>(names_.size()) < kMaxAccessories,
+               "accessory registry is full");
+  names_.push_back(std::move(name));
+  costs_.push_back(processing_cost);
+  return static_cast<AccessoryId>(names_.size()) - 1;
+}
+
+int AccessoryRegistry::count() const {
+  std::shared_lock lock(mutex_);
+  return static_cast<int>(names_.size());
+}
+
+std::string AccessoryRegistry::name(AccessoryId id) const {
+  std::shared_lock lock(mutex_);
+  COHLS_EXPECT(id >= 0 && id < static_cast<int>(names_.size()), "unknown accessory id");
   return names_[static_cast<std::size_t>(id)];
 }
 
 double AccessoryRegistry::processing_cost(AccessoryId id) const {
-  COHLS_EXPECT(id >= 0 && id < count(), "unknown accessory id");
+  std::shared_lock lock(mutex_);
+  COHLS_EXPECT(id >= 0 && id < static_cast<int>(costs_.size()), "unknown accessory id");
   return costs_[static_cast<std::size_t>(id)];
 }
 
 AccessoryId AccessoryRegistry::find(std::string_view name) const {
-  for (AccessoryId id = 0; id < count(); ++id) {
-    if (names_[static_cast<std::size_t>(id)] == name) {
-      return id;
+  std::shared_lock lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<AccessoryId>(i);
     }
   }
   return -1;

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,18 +59,31 @@ struct BuiltinAccessory {
 
 /// Open registry of accessory kinds: name + chip processing cost (the `Pr_z`
 /// constants of constraint (19)). The five built-ins are always present.
+///
+/// Thread safety: registration and lookup are guarded by a shared mutex, so
+/// a registry may be read concurrently from many synthesis workers (the
+/// batch engine does) and extended at runtime without external locking.
+/// Registered kinds are never removed and ids never change, so an id
+/// obtained from one thread stays valid on all others.
 class AccessoryRegistry {
  public:
   /// Creates a registry holding exactly the built-in accessories, with the
   /// default processing costs of the bundled CostModel.
   AccessoryRegistry();
 
+  AccessoryRegistry(const AccessoryRegistry& other);
+  AccessoryRegistry(AccessoryRegistry&& other) noexcept;
+  AccessoryRegistry& operator=(const AccessoryRegistry& other);
+  AccessoryRegistry& operator=(AccessoryRegistry&& other) noexcept;
+
   /// Registers a new accessory kind (e.g. a droplet sorter) and returns its
   /// id. Names must be unique and non-empty.
   AccessoryId register_accessory(std::string name, double processing_cost);
 
-  [[nodiscard]] int count() const { return static_cast<int>(names_.size()); }
-  [[nodiscard]] const std::string& name(AccessoryId id) const;
+  [[nodiscard]] int count() const;
+  /// Returns a copy: the registry may grow concurrently, and handing out a
+  /// reference into a reallocating vector would race with registration.
+  [[nodiscard]] std::string name(AccessoryId id) const;
   [[nodiscard]] double processing_cost(AccessoryId id) const;
 
   /// Looks a kind up by name; returns -1 when unknown.
@@ -79,6 +93,7 @@ class AccessoryRegistry {
   static constexpr int kMaxAccessories = 32;
 
  private:
+  mutable std::shared_mutex mutex_;
   std::vector<std::string> names_;
   std::vector<double> costs_;
 };

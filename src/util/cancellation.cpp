@@ -1,0 +1,11 @@
+#include "util/cancellation.hpp"
+
+namespace cohls {
+
+void CancellationToken::check(const std::string& what) const {
+  if (cancelled()) {
+    throw CancelledError(what + " cancelled");
+  }
+}
+
+}  // namespace cohls

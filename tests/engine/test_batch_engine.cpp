@@ -1,0 +1,210 @@
+// End-to-end behavior of the batch-synthesis engine: determinism across job
+// counts, shared-cache reuse, failure classification, manifest parsing, and
+// a concurrency smoke test (run under TSan in CI).
+#include "engine/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assays/benchmarks.hpp"
+#include "io/assay_text.hpp"
+
+namespace cohls::engine {
+namespace {
+
+BatchJob text_job(std::string name, const model::Assay& assay) {
+  BatchJob job;
+  job.name = std::move(name);
+  job.text = io::to_text(assay);
+  return job;
+}
+
+std::vector<BatchJob> benchmark_jobs() {
+  return {text_job("case1", assays::kinase_activity_assay()),
+          text_job("case2", assays::gene_expression_assay()),
+          text_job("case3", assays::rt_qpcr_assay())};
+}
+
+TEST(BatchEngine, SynthesizesAManifest) {
+  BatchEngine engine{BatchOptions{}};
+  const std::vector<BatchResult> rows = engine.run(benchmark_jobs());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const BatchResult& row : rows) {
+    EXPECT_EQ(row.status, JobStatus::Ok) << row.name << ": " << row.detail;
+    EXPECT_FALSE(row.result_text.empty());
+    EXPECT_GT(row.summary.devices, 0);
+    EXPECT_GT(row.summary.layers, 0);
+    EXPECT_GT(row.summary.objective, 0.0);
+  }
+  EXPECT_EQ(rows[0].name, "case1");
+  EXPECT_EQ(rows[2].name, "case3");
+}
+
+TEST(BatchEngine, ResultsAreIdenticalForAnyJobCount) {
+  // The acceptance bar of the subsystem: --jobs N must be byte-identical
+  // to --jobs 1 on the three benchmark assays.
+  BatchOptions serial;
+  serial.jobs = 1;
+  BatchEngine one(serial);
+  const std::vector<BatchResult> baseline = one.run(benchmark_jobs());
+
+  BatchOptions parallel_opts;
+  parallel_opts.jobs = 8;
+  BatchEngine eight(parallel_opts);
+  const std::vector<BatchResult> wide = eight.run(benchmark_jobs());
+
+  ASSERT_EQ(baseline.size(), wide.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].status, JobStatus::Ok);
+    EXPECT_EQ(baseline[i].result_text, wide[i].result_text)
+        << baseline[i].name << " differs between --jobs 1 and --jobs 8";
+    EXPECT_EQ(baseline[i].summary.execution_time, wide[i].summary.execution_time);
+    EXPECT_DOUBLE_EQ(baseline[i].summary.objective, wide[i].summary.objective);
+  }
+}
+
+TEST(BatchEngine, CacheDisabledIsStillIdentical) {
+  BatchOptions no_cache;
+  no_cache.cache_capacity = 0;
+  BatchEngine uncached(no_cache);
+  BatchEngine cached{BatchOptions{}};
+  const std::vector<BatchResult> a = uncached.run(benchmark_jobs());
+  const std::vector<BatchResult> b = cached.run(benchmark_jobs());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result_text, b[i].result_text);
+  }
+  EXPECT_EQ(uncached.cache().stats().stores, 0);
+}
+
+TEST(BatchEngine, ResubmissionHitsTheCache) {
+  BatchEngine engine{BatchOptions{}};
+  const std::vector<BatchJob> jobs = {text_job("case3", assays::rt_qpcr_assay())};
+  (void)engine.run(jobs);
+  const CacheStats first = engine.cache().stats();
+  (void)engine.run(jobs);
+  const CacheStats second = engine.cache().stats();
+  EXPECT_GT(second.hits, first.hits);
+  EXPECT_EQ(second.stores, first.stores);  // nothing new to learn
+  EXPECT_GT(second.hit_rate(), 0.0);
+}
+
+TEST(BatchEngine, VerifiedCacheHitsOnReplicatedAssays) {
+  // verify_cache_hits re-solves every hit and aborts on any divergence, so
+  // a green run here is a proof of signature completeness on real assays.
+  BatchOptions options;
+  options.verify_cache_hits = true;
+  BatchEngine engine(options);
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<BatchResult> rows = engine.run(benchmark_jobs());
+    for (const BatchResult& row : rows) {
+      EXPECT_EQ(row.status, JobStatus::Ok) << row.detail;
+    }
+  }
+  EXPECT_GT(engine.cache().stats().hits, 0);
+}
+
+TEST(BatchEngine, ClassifiesParseErrors) {
+  BatchEngine engine{BatchOptions{}};
+  BatchJob bad;
+  bad.name = "garbage";
+  bad.text = "this is not an assay";
+  const std::vector<BatchResult> rows = engine.run({bad});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::ParseError);
+  EXPECT_FALSE(rows.front().detail.empty());
+}
+
+TEST(BatchEngine, ClassifiesUnreadableFiles) {
+  BatchEngine engine{BatchOptions{}};
+  BatchJob missing;
+  missing.path = "/nonexistent/assay.file";
+  const std::vector<BatchResult> rows = engine.run({missing});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::Error);
+}
+
+TEST(BatchEngine, ExpiredDeadlineCancelsTheJob) {
+  BatchEngine engine{BatchOptions{}};
+  BatchJob job = text_job("case3", assays::rt_qpcr_assay());
+  job.deadline_seconds = 1e-9;  // expires before the first layer solve
+  const std::vector<BatchResult> rows = engine.run({job});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::Cancelled);
+  EXPECT_EQ(engine.metrics().counter("jobs_cancelled").value(), 1);
+}
+
+TEST(BatchEngine, FailedJobsDoNotPoisonLaterRounds) {
+  BatchEngine engine{BatchOptions{}};
+  BatchJob job = text_job("case1", assays::kinase_activity_assay());
+  BatchJob doomed = job;
+  doomed.deadline_seconds = 1e-9;
+  (void)engine.run({doomed});
+  const std::vector<BatchResult> rows = engine.run({job});
+  EXPECT_EQ(rows.front().status, JobStatus::Ok) << rows.front().detail;
+}
+
+TEST(BatchEngine, MetricsCoverSolvesAndJobs) {
+  BatchEngine engine{BatchOptions{}};
+  (void)engine.run(benchmark_jobs());
+  EXPECT_EQ(engine.metrics().counter("jobs_completed").value(), 3);
+  EXPECT_GT(engine.metrics().counter("layers_solved").value(), 0);
+  EXPECT_GT(engine.metrics().histogram("layer_solve_seconds").count(), 0);
+
+  const std::string json = engine.metrics_json();
+  EXPECT_NE(json.find("\"jobs_completed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+
+  const std::string report = engine.report();
+  EXPECT_NE(report.find("layer cache:"), std::string::npos);
+}
+
+TEST(BatchEngine, ConcurrencySmoke) {
+  // Many concurrent jobs sharing one cache and one metrics registry; run
+  // under TSan in CI to surface data races. Small assay variants keep it
+  // fast enough to repeat.
+  BatchOptions options;
+  options.jobs = 8;
+  BatchEngine engine(options);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back(text_job("job" + std::to_string(i),
+                            assays::gene_expression_assay(2 + i % 3)));
+  }
+  const std::vector<BatchResult> rows = engine.run(jobs);
+  ASSERT_EQ(rows.size(), jobs.size());
+  for (const BatchResult& row : rows) {
+    EXPECT_EQ(row.status, JobStatus::Ok) << row.name << ": " << row.detail;
+  }
+  // Replicated variants share layer contexts, so the shared cache must hit.
+  EXPECT_GT(engine.cache().stats().hits, 0);
+  EXPECT_EQ(engine.metrics().counter("jobs_completed").value(), 16);
+}
+
+TEST(JobsFromManifest, ParsesPathsCommentsAndBlanks) {
+  const std::string manifest =
+      "# comment\n"
+      "\n"
+      "a.assay\n"
+      "  sub/b.assay  \n"
+      "/abs/c.assay\n";
+  core::SynthesisOptions options;
+  options.max_devices = 7;
+  const std::vector<BatchJob> jobs = jobs_from_manifest(manifest, "/base", options);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].path, "/base/a.assay");
+  EXPECT_EQ(jobs[1].path, "/base/sub/b.assay");
+  EXPECT_EQ(jobs[2].path, "/abs/c.assay");
+  EXPECT_EQ(jobs[0].name, "a.assay");
+  EXPECT_EQ(jobs[0].options.max_devices, 7);
+}
+
+TEST(JobStatusNames, AreStable) {
+  EXPECT_EQ(to_string(JobStatus::Ok), "ok");
+  EXPECT_EQ(to_string(JobStatus::ParseError), "parse-error");
+  EXPECT_EQ(to_string(JobStatus::Cancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace cohls::engine

@@ -1,0 +1,115 @@
+#include "engine/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cohls::engine {
+namespace {
+
+TEST(Counter, AddsAndIncrements) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.increment();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(Histogram, CountsAndTotals) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+
+  histogram.observe(0.001);
+  histogram.observe(0.002);
+  histogram.observe(0.004);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_NEAR(histogram.total_seconds(), 0.007, 1e-9);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBucketAccurate) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) {
+    histogram.observe(0.001);  // all samples in one bucket
+  }
+  const double p50 = histogram.quantile(0.5);
+  const double p95 = histogram.quantile(0.95);
+  EXPECT_LE(p50, p95);
+  // The estimate may be off by the bucket's width, never more.
+  EXPECT_GE(p95, 0.001 / 2);
+  EXPECT_LE(p95, 0.001 * 2);
+}
+
+TEST(Histogram, BucketBoundsAreGeometric) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(1) / Histogram::bucket_bound(0), 2.0);
+  EXPECT_LT(Histogram::bucket_bound(0), 2e-6);
+}
+
+TEST(Histogram, OverflowSamplesLandInLastBucket) {
+  Histogram histogram;
+  histogram.observe(1e9);  // beyond the last boundary
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_GE(histogram.quantile(0.5), Histogram::bucket_bound(Histogram::kBuckets - 1));
+}
+
+TEST(MetricsRegistry, SameNameSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs");
+  Counter& b = registry.counter("jobs");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("latency");
+  Histogram& h2 = registry.histogram("latency");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, ReportsContainMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("solved").add(7);
+  registry.histogram("seconds").observe(0.5);
+
+  const std::string text = registry.text_report();
+  EXPECT_NE(text.find("solved"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("seconds"), std::string::npos);
+
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"solved\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistry, JsonListsNamesInStableOrder) {
+  MetricsRegistry registry;
+  registry.counter("zebra").increment();
+  registry.counter("alpha").increment();
+  const std::string json = registry.json();
+  EXPECT_LT(json.find("alpha"), json.find("zebra"));
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& counter = registry.counter("shared");
+      Histogram& histogram = registry.histogram("shared_h");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.increment();
+        histogram.observe(1e-4);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.counter("shared").value(), kThreads * kPerThread);
+  EXPECT_EQ(registry.histogram("shared_h").count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace cohls::engine

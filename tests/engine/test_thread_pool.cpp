@@ -1,0 +1,128 @@
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace cohls::engine {
+namespace {
+
+TEST(ThreadPool, RunsEveryJob) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&ran](const CancellationToken&) { ++ran; }));
+  }
+  for (std::future<void>& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran](const CancellationToken&) { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, PropagatesJobExceptions) {
+  ThreadPool pool(1);
+  std::future<void> future =
+      pool.submit([](const CancellationToken&) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DeadlineTokenFires) {
+  ThreadPool pool(1);
+  std::future<void> future = pool.submit(
+      [](const CancellationToken& token) {
+        while (!token.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        token.check("deadline job");
+      },
+      /*deadline_seconds=*/0.02);
+  EXPECT_THROW(future.get(), CancelledError);
+}
+
+TEST(ThreadPool, TokenWithoutDeadlineDoesNotCancel) {
+  ThreadPool pool(1);
+  std::future<void> future = pool.submit(
+      [](const CancellationToken& token) { EXPECT_FALSE(token.cancelled()); });
+  future.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) {
+      // Discard futures: completion is observed through `ran`.
+      (void)pool.submit([&ran](const CancellationToken&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, StopCancelsRunningAndAbandonsQueued) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::future<void> running = pool.submit([&started](const CancellationToken& token) {
+    started = true;
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Queued behind the running job; must never start after stop().
+  std::atomic<bool> queued_ran{false};
+  std::future<void> queued =
+      pool.submit([&queued_ran](const CancellationToken&) { queued_ran = true; });
+
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pool.stop();
+
+  running.get();  // the running job winds down cooperatively
+  EXPECT_THROW(queued.get(), std::future_error);
+  EXPECT_FALSE(queued_ran.load());
+}
+
+TEST(ThreadPool, SubmitAfterStopFailsTheFuture) {
+  ThreadPool pool(1);
+  pool.stop();
+  std::future<void> future = pool.submit([](const CancellationToken&) {});
+  EXPECT_THROW(future.get(), CancelledError);
+}
+
+TEST(ThreadPool, PendingDropsToZero) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(pool.submit([](const CancellationToken&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }));
+  }
+  for (std::future<void>& future : futures) {
+    future.get();
+  }
+  // The in-flight count is decremented just after the future is fulfilled,
+  // so poll briefly instead of asserting instantly.
+  for (int i = 0; i < 1000 && pool.pending() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.pending(), 0);
+}
+
+}  // namespace
+}  // namespace cohls::engine

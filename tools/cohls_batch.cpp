@@ -1,0 +1,218 @@
+// cohls_batch — batch synthesis over a manifest of assay files.
+//
+//   cohls_batch <manifest> [options]
+//
+//   --jobs N               worker threads (default 1)
+//   --max-devices N        |D|, the device budget per assay (default 25)
+//   --threshold N          layer threshold t (default 10)
+//   --transport N          initial transport constant, minutes (default 5)
+//   --conventional         use the modified conventional baseline
+//   --deadline S           per-job wall-clock budget in seconds (default none)
+//   --cache-capacity N     layer-solution cache entries (default 4096; 0 off)
+//   --no-cache             disable the layer-solution cache
+//   --verify-cache         check every cache hit against a fresh solve
+//   --repeat N             run the whole manifest N times (cache warm-up demo)
+//   --save-results DIR     write each result as DIR/<name>.result
+//   --metrics-json FILE    dump the metrics registry as JSON ("-" = stdout)
+//
+// The manifest lists one assay file per line ('#' comments allowed);
+// relative paths resolve against the manifest's directory. Exit status is 0
+// when every job succeeded, 1 when any failed, 2 on usage errors.
+//
+// Results are bit-identical for any --jobs value: the engine replaces
+// wall-clock MILP budgets with node budgets, and the shared layer cache only
+// returns solutions the solver would have produced itself.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cohls;
+
+struct CliOptions {
+  std::string manifest_path;
+  core::SynthesisOptions synthesis;
+  engine::BatchOptions batch;
+  bool conventional = false;
+  double deadline_seconds = 0.0;
+  int repeat = 1;
+  std::string save_results_dir;
+  std::string metrics_json_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <manifest> [--jobs N] [--max-devices N] [--threshold N]"
+               " [--transport N] [--conventional] [--deadline S]"
+               " [--cache-capacity N] [--no-cache] [--verify-cache]"
+               " [--repeat N] [--save-results DIR] [--metrics-json FILE]\n";
+  std::exit(2);
+}
+
+long numeric_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    usage(argv[0]);
+  }
+  return std::stol(argv[++i]);
+}
+
+std::string string_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    usage(argv[0]);
+  }
+  return argv[++i];
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs") {
+      cli.batch.jobs = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--max-devices") {
+      cli.synthesis.max_devices = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--threshold") {
+      cli.synthesis.layering.indeterminate_threshold =
+          static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--transport") {
+      cli.synthesis.initial_transport = Minutes{numeric_arg(argc, argv, i)};
+    } else if (arg == "--conventional") {
+      cli.conventional = true;
+    } else if (arg == "--deadline") {
+      cli.deadline_seconds = std::stod(string_arg(argc, argv, i));
+    } else if (arg == "--cache-capacity") {
+      cli.batch.cache_capacity =
+          static_cast<std::size_t>(numeric_arg(argc, argv, i));
+    } else if (arg == "--no-cache") {
+      cli.batch.cache_capacity = 0;
+    } else if (arg == "--verify-cache") {
+      cli.batch.verify_cache_hits = true;
+    } else if (arg == "--repeat") {
+      cli.repeat = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--save-results") {
+      cli.save_results_dir = string_arg(argc, argv, i);
+    } else if (arg == "--metrics-json") {
+      cli.metrics_json_path = string_arg(argc, argv, i);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+    } else if (cli.manifest_path.empty()) {
+      cli.manifest_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cli.manifest_path.empty() || cli.repeat < 1) {
+    usage(argv[0]);
+  }
+  return cli;
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed << seconds;
+  return out.str();
+}
+
+/// "examples/protocols/rt_qpcr.assay" -> "rt_qpcr"
+std::string result_file_stem(const std::string& name) {
+  return std::filesystem::path(name).stem().string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
+
+  std::ifstream file(cli.manifest_path);
+  if (!file) {
+    std::cerr << "cannot open " << cli.manifest_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string base_dir =
+      std::filesystem::path(cli.manifest_path).parent_path().string();
+
+  std::vector<engine::BatchJob> jobs =
+      engine::jobs_from_manifest(buffer.str(), base_dir, cli.synthesis);
+  for (engine::BatchJob& job : jobs) {
+    job.conventional = cli.conventional;
+    job.deadline_seconds = cli.deadline_seconds;
+  }
+  if (jobs.empty()) {
+    std::cerr << "manifest is empty: " << cli.manifest_path << "\n";
+    return 1;
+  }
+
+  engine::BatchEngine batch(cli.batch);
+  bool all_ok = true;
+  for (int round = 0; round < cli.repeat; ++round) {
+    const std::vector<engine::BatchResult> rows = batch.run(jobs);
+
+    TextTable table({"assay", "status", "time", "devices", "paths", "layers",
+                     "iters", "objective", "wall s"});
+    for (const engine::BatchResult& row : rows) {
+      all_ok = all_ok && row.status == engine::JobStatus::Ok;
+      std::ostringstream objective;
+      objective.precision(1);
+      objective << std::fixed << row.summary.objective;
+      table.add_row({row.name, engine::to_string(row.status),
+                     row.summary.execution_time,
+                     std::to_string(row.summary.devices),
+                     std::to_string(row.summary.paths),
+                     std::to_string(row.summary.layers),
+                     std::to_string(row.summary.resynthesis_iterations),
+                     objective.str(), format_seconds(row.wall_seconds)});
+      if (row.status != engine::JobStatus::Ok) {
+        std::cerr << row.name << ": " << engine::to_string(row.status) << ": "
+                  << row.detail << "\n";
+      }
+    }
+    if (cli.repeat > 1) {
+      std::cout << "round " << round + 1 << " of " << cli.repeat << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    if (!cli.save_results_dir.empty() && round == 0) {
+      std::filesystem::create_directories(cli.save_results_dir);
+      for (const engine::BatchResult& row : rows) {
+        if (row.result_text.empty()) {
+          continue;
+        }
+        const std::string path =
+            cli.save_results_dir + "/" + result_file_stem(row.name) + ".result";
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "cannot write " << path << "\n";
+          return 1;
+        }
+        out << row.result_text;
+      }
+    }
+  }
+
+  std::cout << batch.report();
+  if (!cli.metrics_json_path.empty()) {
+    if (cli.metrics_json_path == "-") {
+      std::cout << batch.metrics_json() << "\n";
+    } else {
+      std::ofstream out(cli.metrics_json_path);
+      if (!out) {
+        std::cerr << "cannot write " << cli.metrics_json_path << "\n";
+        return 1;
+      }
+      out << batch.metrics_json() << "\n";
+    }
+  }
+  return all_ok ? 0 : 1;
+}

@@ -11,9 +11,15 @@
 //   --gantt / --csv / --dot / --placement
 //                          extra output sections
 //   --simulate SEED        simulate one cyberphysical run
+//   --deadline S           abort the synthesis after S seconds
 //
 // The assay file uses the format of src/io/assay_text.hpp; see
 // examples/protocols/*.assay for samples.
+//
+// Exit codes distinguish failure classes for scripting:
+//   0 success        1 cannot open/write a file   2 usage error
+//   3 parse error    4 result failed validation   5 infeasible
+//   6 cancelled (deadline exceeded)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +34,7 @@
 #include "layout/placement.hpp"
 #include "schedule/validate.hpp"
 #include "sim/runtime.hpp"
+#include "util/cancellation.hpp"
 
 namespace {
 
@@ -44,6 +51,17 @@ struct CliOptions {
   bool simulate = false;
   std::uint64_t simulate_seed = 1;
   std::string save_result_path;
+  double deadline_seconds = 0.0;
+};
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitIo = 1,
+  kExitUsage = 2,
+  kExitParse = 3,
+  kExitInvalid = 4,
+  kExitInfeasible = 5,
+  kExitCancelled = 6,
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -51,8 +69,8 @@ struct CliOptions {
             << " <assay-file> [--max-devices N] [--threshold N] [--transport N]"
                " [--conventional] [--layout] [--no-resynthesis]"
                " [--gantt] [--csv] [--dot] [--placement] [--simulate SEED]"
-               " [--save-result FILE]\n";
-  std::exit(2);
+               " [--save-result FILE] [--deadline S]\n";
+  std::exit(kExitUsage);
 }
 
 long numeric_arg(int argc, char** argv, int& i) {
@@ -95,6 +113,11 @@ CliOptions parse_cli(int argc, char** argv) {
         usage(argv[0]);
       }
       cli.save_result_path = argv[++i];
+    } else if (arg == "--deadline") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      cli.deadline_seconds = std::stod(argv[++i]);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv[0]);
@@ -118,7 +141,7 @@ int main(int argc, char** argv) {
   std::ifstream file(cli.assay_path);
   if (!file) {
     std::cerr << "cannot open " << cli.assay_path << "\n";
-    return 1;
+    return kExitIo;
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
@@ -128,9 +151,15 @@ int main(int argc, char** argv) {
     std::cout << "assay: " << assay.name() << " (" << assay.operation_count()
               << " operations, " << assay.indeterminate_count() << " indeterminate)\n";
 
+    CancellationSource deadline_source;
+    core::SynthesisOptions synthesis = cli.synthesis;
+    if (cli.deadline_seconds > 0.0) {
+      synthesis.cancel = deadline_source.token_with_deadline(cli.deadline_seconds);
+    }
+
     const core::SynthesisReport report =
-        cli.conventional ? baseline::synthesize_conventional(assay, cli.synthesis)
-                         : core::synthesize(assay, cli.synthesis);
+        cli.conventional ? baseline::synthesize_conventional(assay, synthesis)
+                         : core::synthesize(assay, synthesis);
 
     std::cout << "method: " << (cli.conventional ? "modified conventional"
                                                  : "component-oriented")
@@ -168,7 +197,7 @@ int main(int argc, char** argv) {
       std::ofstream out(cli.save_result_path);
       if (!out) {
         std::cerr << "cannot write " << cli.save_result_path << "\n";
-        return 1;
+        return kExitIo;
       }
       out << io::to_text(report.result, assay);
       std::cout << "result saved to " << cli.save_result_path << "\n";
@@ -181,12 +210,15 @@ int main(int argc, char** argv) {
                 << "): completed at " << trace.completed_at << " (planned fixed "
                 << trace.planned_fixed << ", overrun " << trace.overrun() << ")\n";
     }
-    return violations.empty() ? 0 : 1;
+    return violations.empty() ? kExitOk : kExitInvalid;
   } catch (const io::ParseError& e) {
     std::cerr << "parse error: " << e.what() << "\n";
-    return 2;
+    return kExitParse;
+  } catch (const CancelledError& e) {
+    std::cerr << "cancelled: " << e.what() << "\n";
+    return kExitCancelled;
   } catch (const InfeasibleError& e) {
     std::cerr << "infeasible: " << e.what() << "\n";
-    return 3;
+    return kExitInfeasible;
   }
 }
