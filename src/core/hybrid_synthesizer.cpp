@@ -45,6 +45,12 @@ LayerOutcome solve_with_hooks(const schedule::LayerRequest& request,
     event.cache_hit = cache_hit;
     event.used_ilp = outcome.used_ilp;
     event.milp_nodes = cache_hit ? 0 : outcome.milp_nodes;
+    if (!cache_hit) {
+      event.lp_pivots = outcome.lp_pivots;
+      event.lp_warm_solves = outcome.lp_warm_solves;
+      event.lp_cold_solves = outcome.lp_cold_solves;
+      event.lp_refactorizations = outcome.lp_refactorizations;
+    }
     event.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
     options.observer->on_layer_solve(event);
   }

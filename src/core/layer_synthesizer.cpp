@@ -116,6 +116,10 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
     const auto solution = milp::solve_milp(ilp.model(), engine.milp);
     heuristic.milp_nodes = solution.nodes;
     heuristic.milp_cancelled = solution.cancelled;
+    heuristic.lp_pivots = solution.lp_pivots;
+    heuristic.lp_warm_solves = solution.lp_warm_solves;
+    heuristic.lp_cold_solves = solution.lp_cold_solves;
+    heuristic.lp_refactorizations = solution.lp_refactorizations;
     if (solution.status != milp::MilpStatus::Optimal &&
         solution.status != milp::MilpStatus::Feasible) {
       return heuristic;
@@ -127,6 +131,10 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
     exact.score = layer_score(exact.result, exact.inventory, request, assay, costs);
     exact.milp_nodes = solution.nodes;
     exact.milp_cancelled = solution.cancelled;
+    exact.lp_pivots = solution.lp_pivots;
+    exact.lp_warm_solves = solution.lp_warm_solves;
+    exact.lp_cold_solves = solution.lp_cold_solves;
+    exact.lp_refactorizations = solution.lp_refactorizations;
     return exact.score < heuristic.score - 1e-9 ? exact : heuristic;
   } catch (const InfeasibleError&) {
     return heuristic;  // e.g. inventory exhausted while decoding

@@ -20,6 +20,12 @@ struct LayerOutcome {
   /// Branch-and-bound nodes the MILP spent on this layer (0 when the
   /// heuristic ran alone), for the engine's metrics.
   long milp_nodes = 0;
+  /// LP work inside the MILP: simplex pivots, warm dual re-solves from a
+  /// parent basis, from-scratch solves and basis refactorizations.
+  long lp_pivots = 0;
+  long lp_warm_solves = 0;
+  long lp_cold_solves = 0;
+  long lp_refactorizations = 0;
   /// The MILP stopped on a cancellation token rather than on exhaustion or
   /// a budget. The outcome (the heuristic fallback) is still usable, but it
   /// must not be cached: a fresh solve could return something better.

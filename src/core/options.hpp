@@ -34,10 +34,17 @@ enum class TransportRefinement {
 struct EngineOptions {
   bool enable_ilp = true;
   /// Exact MILP only for layers with at most this many operations...
-  int ilp_max_ops = 7;
+  /// The defaults are sized to the 2 s layer budget, measured on random
+  /// layer models with the revised simplex: at 8 ops / 7 devices it
+  /// explores ~28 B&B nodes within budget (p95 wall 2.9 s — the deadline
+  /// plus one node re-solve), more node-work than the dense tableau
+  /// managed at the previous 7/6 gate (5 nodes, p95 2.5 s). One device
+  /// more (8/8) was measured overshooting the budget up to 9x on single
+  /// node solves, so the device gate stays at 7.
+  int ilp_max_ops = 8;
   /// ...and at most this many devices visible to the layer model
   /// (inherited + new slots).
-  int ilp_max_devices = 6;
+  int ilp_max_devices = 7;
   /// New (freely configurable) device slots offered to the layer model.
   int ilp_new_slots = 3;
   /// Budget per layer solve. The MILP runs once per layer per re-synthesis

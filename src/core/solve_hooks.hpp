@@ -43,6 +43,11 @@ struct LayerSolveEvent {
   bool used_ilp = false;
   /// Branch-and-bound nodes spent (0 for heuristic-only and cached solves).
   long milp_nodes = 0;
+  /// LP work inside the MILP solve (0 for heuristic-only and cached solves).
+  long lp_pivots = 0;
+  long lp_warm_solves = 0;
+  long lp_cold_solves = 0;
+  long lp_refactorizations = 0;
   /// Wall time of the solve (or of the cache lookup, when it hit).
   double seconds = 0.0;
 };

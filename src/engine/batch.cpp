@@ -26,6 +26,10 @@ class MetricsObserver final : public core::SolveObserver {
         layer_cache_hits_(metrics.counter("layer_cache_hits")),
         ilp_layers_(metrics.counter("ilp_layers")),
         milp_nodes_(metrics.counter("milp_nodes")),
+        lp_pivots_(metrics.counter("lp_pivots")),
+        lp_warm_solves_(metrics.counter("lp_warm_solves")),
+        lp_cold_solves_(metrics.counter("lp_cold_solves")),
+        lp_refactorizations_(metrics.counter("lp_refactorizations")),
         solve_seconds_(metrics.histogram("layer_solve_seconds")) {}
 
   void on_layer_solve(const core::LayerSolveEvent& event) override {
@@ -38,6 +42,10 @@ class MetricsObserver final : public core::SolveObserver {
       ilp_layers_.increment();
     }
     milp_nodes_.add(event.milp_nodes);
+    lp_pivots_.add(event.lp_pivots);
+    lp_warm_solves_.add(event.lp_warm_solves);
+    lp_cold_solves_.add(event.lp_cold_solves);
+    lp_refactorizations_.add(event.lp_refactorizations);
     solve_seconds_.observe(event.seconds);
   }
 
@@ -46,6 +54,10 @@ class MetricsObserver final : public core::SolveObserver {
   Counter& layer_cache_hits_;
   Counter& ilp_layers_;
   Counter& milp_nodes_;
+  Counter& lp_pivots_;
+  Counter& lp_warm_solves_;
+  Counter& lp_cold_solves_;
+  Counter& lp_refactorizations_;
   Histogram& solve_seconds_;
 };
 

@@ -29,8 +29,30 @@ class Presolved {
   /// Lifts a reduced-space solution back to the original variable space.
   [[nodiscard]] std::vector<double> restore(const std::vector<double>& reduced) const;
 
+  /// Per-column mapping into the reduced model (valid when !infeasible()).
+  /// A fixed column was eliminated; its constant is `fixed_value`. A live
+  /// column moved to `reduced_column`. Branch and bound uses this to carry
+  /// integrality marks and warm starts into the reduced space.
+  [[nodiscard]] int original_column_count() const { return static_cast<int>(origins_.size()); }
+  [[nodiscard]] bool column_fixed(Col original) const {
+    return origins_[check_origin(original)].fixed;
+  }
+  [[nodiscard]] double fixed_value(Col original) const {
+    return origins_[check_origin(original)].value;
+  }
+  /// Reduced index of a surviving column; -1 when the column was fixed.
+  [[nodiscard]] int reduced_column(Col original) const {
+    return origins_[check_origin(original)].reduced_index;
+  }
+
  private:
   friend Presolved presolve(const LpModel& original);
+
+  [[nodiscard]] std::size_t check_origin(Col c) const {
+    COHLS_EXPECT(c >= 0 && static_cast<std::size_t>(c) < origins_.size(),
+                 "original column index out of range");
+    return static_cast<std::size_t>(c);
+  }
 
   LpModel reduced_;
   bool infeasible_ = false;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "lp/revised_simplex.hpp"
+
 namespace cohls::lp {
 
 std::string to_string(LpStatus status) {
@@ -511,6 +513,9 @@ class Tableau {
 }  // namespace
 
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
+  if (options.algorithm == SimplexAlgorithm::Revised) {
+    return solve_lp_revised(model, options);
+  }
   LpSolution solution;
   // Reject trivially inconsistent fixed bounds early.
   for (Col c = 0; c < model.variable_count(); ++c) {

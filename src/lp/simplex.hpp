@@ -1,7 +1,10 @@
-// Two-phase primal simplex with native variable bounds (nonbasic variables
-// rest at either bound; bound flips avoid explicit bound rows). This is the
-// LP engine under the branch-and-bound MILP solver that substitutes for the
-// paper's Gurobi dependency.
+// LP solve entry point and options. Two implementations share this
+// interface: the sparse revised simplex (lp/revised_simplex.hpp, the
+// default) and the original dense-tableau two-phase primal simplex kept in
+// lp/simplex.cpp for differential testing. Both support native variable
+// bounds (nonbasic variables rest at either bound; bound flips avoid
+// explicit bound rows). This is the LP engine under the branch-and-bound
+// MILP solver that substitutes for the paper's Gurobi dependency.
 #pragma once
 
 #include <string>
@@ -27,14 +30,28 @@ struct LpSolution {
   int iterations = 0;
 };
 
+enum class SimplexAlgorithm {
+  /// Sparse revised simplex (lp/revised_simplex.hpp): CSC matrix, eta-file
+  /// basis with periodic refactorization, warm-startable dual re-solves.
+  Revised,
+  /// The original dense-tableau two-phase simplex, kept for differential
+  /// testing against the revised implementation.
+  Dense,
+};
+
 struct SimplexOptions {
   /// Hard cap on pivots across both phases; 0 means "derived from size".
   int max_iterations = 0;
   /// Feasibility / pricing tolerance.
   double tolerance = 1e-7;
+  /// Which implementation solve_lp dispatches to.
+  SimplexAlgorithm algorithm = SimplexAlgorithm::Revised;
+  /// Refactorize the basis after this many eta updates (revised only).
+  int refactor_interval = 64;
 };
 
-/// Solves `model` (a minimization) with the bounded-variable simplex.
+/// Solves `model` (a minimization) with the bounded-variable simplex
+/// selected by `options.algorithm`.
 [[nodiscard]] LpSolution solve_lp(const LpModel& model, const SimplexOptions& options = {});
 
 }  // namespace cohls::lp

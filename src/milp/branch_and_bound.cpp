@@ -4,7 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
 
+#include "lp/presolve.hpp"
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "util/check.hpp"
 
@@ -24,11 +29,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// One bound tightening on the branch path. Children share their parent's
+/// suffix, so a node's bounds are O(depth) deltas instead of the O(n)
+/// lower/upper vector copies the solver used to carry per node. The stored
+/// bounds are absolute (already intersected with everything above them on
+/// the path), so replaying root-to-leaf in order reproduces the node's
+/// effective bounds exactly.
+struct PathStep {
+  lp::Col col = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+  std::shared_ptr<const PathStep> parent;
+};
+
 struct Node {
-  // Per-variable bound overrides accumulated along the branch path.
-  std::vector<double> lower;
-  std::vector<double> upper;
-  double parent_bound;  // LP bound of the parent, for pruning before solving
+  std::shared_ptr<const PathStep> path;    ///< bound deltas from the root
+  std::shared_ptr<const lp::Basis> basis;  ///< parent's optimal basis, if any
+  double parent_bound = 0.0;  ///< LP bound of the parent, for pruning before solving
 };
 
 class Solver {
@@ -43,26 +60,14 @@ class Solver {
 
   MilpSolution run() {
     MilpSolution out;
-    if (options_.warm_start.has_value()) {
-      COHLS_EXPECT(static_cast<int>(options_.warm_start->size()) == model_.variable_count(),
-                   "warm start arity must match the model");
-      if (model_.is_feasible(*options_.warm_start, options_.integrality_tolerance)) {
-        incumbent_ = *options_.warm_start;
-        incumbent_value_ = model_.lp().objective_value(incumbent_);
-      }
+    if (!prepare()) {
+      out.status = MilpStatus::Infeasible;
+      return out;
     }
-
-    Node root;
-    root.lower.resize(static_cast<std::size_t>(model_.variable_count()));
-    root.upper.resize(static_cast<std::size_t>(model_.variable_count()));
-    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
-      root.lower[static_cast<std::size_t>(c)] = model_.lp().lower_bound(c);
-      root.upper[static_cast<std::size_t>(c)] = model_.lp().upper_bound(c);
-    }
-    root.parent_bound = -MilpSolution::kBigBound;
+    seed_warm_start();
 
     std::vector<Node> stack;
-    stack.push_back(std::move(root));
+    stack.push_back(Node{nullptr, nullptr, -MilpSolution::kBigBound});
     double global_bound = -MilpSolution::kBigBound;
     bool exhausted = true;
     bool root_infeasible_proven = false;
@@ -80,27 +85,31 @@ class Solver {
       }
       Node node = std::move(stack.back());
       stack.pop_back();
-      if (has_incumbent() &&
+      if (has_incumbent_ &&
           node.parent_bound >= incumbent_value_ - options_.absolute_gap) {
         continue;  // cannot improve on the incumbent
       }
 
       ++nodes_;
-      const lp::LpSolution relax = solve_relaxation(node);
+      apply_path(node.path);
+      const lp::LpSolution relax = solve_node(node);
       if (relax.status == lp::LpStatus::Infeasible) {
         if (nodes_ == 1) {
           root_infeasible_proven = true;
         }
+        undo_path();
         continue;
       }
       if (relax.status == lp::LpStatus::Unbounded) {
         // An unbounded relaxation of a bounded-variable MILP means free
         // continuous directions; report the best we have.
         exhausted = false;
+        undo_path();
         continue;
       }
       if (relax.status != lp::LpStatus::Optimal) {
         exhausted = false;  // iteration limit: bound unknown, cannot prune
+        undo_path();
         continue;
       }
       any_lp_solved = true;
@@ -108,7 +117,8 @@ class Solver {
       if (nodes_ == 1) {
         global_bound = bound;
       }
-      if (has_incumbent() && bound >= incumbent_value_ - options_.absolute_gap) {
+      if (has_incumbent_ && bound >= incumbent_value_ - options_.absolute_gap) {
+        undo_path();
         continue;
       }
 
@@ -116,40 +126,60 @@ class Solver {
       if (branch_col < 0) {
         // Integral: new incumbent.
         offer_incumbent(relax.values);
+        undo_path();
         continue;
       }
       if (options_.enable_rounding_heuristic) {
         try_rounding(relax.values);
       }
 
-      const double value = relax.values[static_cast<std::size_t>(branch_col)];
+      // Children re-solve from this node's optimal basis with the dual
+      // simplex after the single branching-bound change.
+      std::shared_ptr<const lp::Basis> child_basis;
+      if (use_revised_) {
+        child_basis = std::make_shared<lp::Basis>(revised_->basis());
+      }
+      const std::size_t bc = static_cast<std::size_t>(branch_col);
+      const double value = relax.values[bc];
       const double floor_value = std::floor(value);
-      Node down = node;
-      down.upper[static_cast<std::size_t>(branch_col)] =
-          std::min(down.upper[static_cast<std::size_t>(branch_col)], floor_value);
-      down.parent_bound = bound;
-      Node up = std::move(node);
-      up.lower[static_cast<std::size_t>(branch_col)] =
-          std::max(up.lower[static_cast<std::size_t>(branch_col)], floor_value + 1.0);
-      up.parent_bound = bound;
+      const double down_hi = std::min(cur_upper_[bc], floor_value);
+      const double up_lo = std::max(cur_lower_[bc], floor_value + 1.0);
+      Node down{std::make_shared<PathStep>(
+                    PathStep{branch_col, cur_lower_[bc], down_hi, node.path}),
+                child_basis, bound};
+      Node up{std::make_shared<PathStep>(
+                  PathStep{branch_col, up_lo, cur_upper_[bc], node.path}),
+              child_basis, bound};
+      const bool down_viable = cur_lower_[bc] <= down_hi;
+      const bool up_viable = up_lo <= cur_upper_[bc];
+      undo_path();
       // Depth-first; explore the child nearer the fractional value first
       // (push it last so it pops first).
-      if (value - floor_value > 0.5) {
+      const bool up_first = value - floor_value > 0.5;
+      if (down_viable && !up_first) {
         stack.push_back(std::move(down));
+      }
+      if (up_viable) {
         stack.push_back(std::move(up));
-      } else {
-        stack.push_back(std::move(up));
+      }
+      if (down_viable && up_first) {
         stack.push_back(std::move(down));
       }
     }
 
     out.nodes = nodes_;
     out.cancelled = cancelled_;
-    out.best_bound = exhausted && has_incumbent() ? incumbent_value_ : global_bound;
-    if (has_incumbent()) {
-      out.values = incumbent_;
-      out.objective = incumbent_value_;
+    collect_lp_stats(out);
+    const double bound_offset = objective_offset_;
+    out.best_bound = exhausted && has_incumbent_ ? incumbent_value_ + bound_offset
+                                                 : global_bound + bound_offset;
+    if (has_incumbent_) {
+      out.values = restore_incumbent();
+      out.objective = model_.lp().objective_value(out.values);
       out.status = exhausted ? MilpStatus::Optimal : MilpStatus::Feasible;
+      if (exhausted) {
+        out.best_bound = out.objective;
+      }
     } else if (exhausted && (any_lp_solved || root_infeasible_proven || nodes_ > 0)) {
       out.status = MilpStatus::Infeasible;
     } else {
@@ -159,6 +189,89 @@ class Solver {
   }
 
  private:
+  /// Presolves the model, builds the reduced-space MILP and the node
+  /// solver. Returns false when presolve alone proves infeasibility (which
+  /// includes an integer column fixed to a fractional value).
+  bool prepare() {
+    if (options_.presolve) {
+      pre_ = lp::presolve(model_.lp());
+      if (pre_->infeasible()) {
+        return false;
+      }
+      for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+        if (!model_.is_integer(c) || !pre_->column_fixed(c)) {
+          continue;
+        }
+        const double v = pre_->fixed_value(c);
+        if (std::abs(v - std::round(v)) > options_.integrality_tolerance) {
+          return false;  // integer column pinned to a fractional value
+        }
+      }
+      const lp::LpModel& red = pre_->model();
+      for (lp::Col rc = 0; rc < red.variable_count(); ++rc) {
+        reduced_.add_variable(VarKind::Continuous, red.lower_bound(rc),
+                              red.upper_bound(rc), red.objective_coefficient(rc));
+      }
+      for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+        if (pre_->column_fixed(c)) {
+          objective_offset_ += model_.lp().objective_coefficient(c) * pre_->fixed_value(c);
+        } else {
+          reduced_.set_kind(pre_->reduced_column(c), model_.kind(c));
+        }
+      }
+      for (lp::Row r = 0; r < red.constraint_count(); ++r) {
+        reduced_.add_constraint(red.row_terms(r), red.row_sense(r), red.row_rhs(r));
+      }
+    } else {
+      reduced_ = model_;
+    }
+
+    const int n = reduced_.variable_count();
+    cur_lower_.resize(static_cast<std::size_t>(n));
+    cur_upper_.resize(static_cast<std::size_t>(n));
+    for (lp::Col c = 0; c < n; ++c) {
+      cur_lower_[static_cast<std::size_t>(c)] = reduced_.lp().lower_bound(c);
+      cur_upper_[static_cast<std::size_t>(c)] = reduced_.lp().upper_bound(c);
+    }
+
+    use_revised_ = options_.simplex.algorithm == lp::SimplexAlgorithm::Revised;
+    if (use_revised_) {
+      revised_.emplace(reduced_.lp(), options_.simplex);
+    } else {
+      scratch_ = reduced_.lp();
+    }
+    return true;
+  }
+
+  /// Maps MilpOptions::warm_start (original space) onto the reduced model.
+  void seed_warm_start() {
+    if (!options_.warm_start.has_value()) {
+      return;
+    }
+    COHLS_EXPECT(static_cast<int>(options_.warm_start->size()) == model_.variable_count(),
+                 "warm start arity must match the model");
+    if (!model_.is_feasible(*options_.warm_start, options_.integrality_tolerance)) {
+      return;
+    }
+    std::vector<double> mapped(static_cast<std::size_t>(reduced_.variable_count()));
+    if (pre_.has_value()) {
+      for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+        const int rc = pre_->reduced_column(c);
+        if (rc >= 0) {
+          mapped[static_cast<std::size_t>(rc)] =
+              (*options_.warm_start)[static_cast<std::size_t>(c)];
+        }
+      }
+    } else {
+      mapped = *options_.warm_start;
+    }
+    if (reduced_.is_feasible(mapped, options_.integrality_tolerance)) {
+      incumbent_ = std::move(mapped);
+      incumbent_value_ = reduced_.lp().objective_value(incumbent_);
+      has_incumbent_ = true;
+    }
+  }
+
   bool limit_reached() const {
     if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
       return true;
@@ -166,32 +279,70 @@ class Solver {
     return deadline_set_ && Clock::now() >= deadline_;
   }
 
-  bool has_incumbent() const { return !incumbent_.empty(); }
+  /// Replays the node's branch path onto the effective-bound arrays and the
+  /// node solver, recording undo entries.
+  void apply_path(const std::shared_ptr<const PathStep>& path) {
+    path_buffer_.clear();
+    for (const PathStep* step = path.get(); step != nullptr; step = step->parent.get()) {
+      path_buffer_.push_back(step);
+    }
+    for (auto it = path_buffer_.rbegin(); it != path_buffer_.rend(); ++it) {
+      const PathStep* step = *it;
+      const std::size_t c = static_cast<std::size_t>(step->col);
+      undo_stack_.push_back({step->col, cur_lower_[c], cur_upper_[c]});
+      set_node_bounds(step->col, step->lower, step->upper);
+    }
+  }
 
-  lp::LpSolution solve_relaxation(const Node& node) {
-    // Apply the node's bounds onto the shared scratch LP (rows and
-    // objective never change between nodes, only bounds do).
-    if (scratch_.variable_count() == 0 && model_.variable_count() > 0) {
-      scratch_ = model_.lp();
+  void undo_path() {
+    for (auto it = undo_stack_.rbegin(); it != undo_stack_.rend(); ++it) {
+      set_node_bounds(it->col, it->lower, it->upper);
     }
-    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
-      const double lo = node.lower[static_cast<std::size_t>(c)];
-      const double hi = node.upper[static_cast<std::size_t>(c)];
-      if (lo > hi) {
-        lp::LpSolution infeasible;
-        infeasible.status = lp::LpStatus::Infeasible;
-        return infeasible;
+    undo_stack_.clear();
+  }
+
+  void set_node_bounds(lp::Col c, double lower, double upper) {
+    const std::size_t j = static_cast<std::size_t>(c);
+    cur_lower_[j] = lower;
+    cur_upper_[j] = upper;
+    if (use_revised_) {
+      revised_->set_bounds(c, lower, upper);
+    } else {
+      scratch_.set_bounds(c, lower, upper);
+    }
+  }
+
+  lp::LpSolution solve_node(const Node& node) {
+    if (use_revised_) {
+      if (node.basis != nullptr && !node.basis->empty()) {
+        return revised_->solve_from(*node.basis);
       }
-      scratch_.set_bounds(c, lo, hi);
+      return revised_->solve();
     }
-    return lp::solve_lp(scratch_, simplex_options_);
+    const lp::LpSolution solution = lp::solve_lp(scratch_, options_.simplex);
+    ++dense_solves_;
+    dense_pivots_ += solution.iterations;
+    return solution;
+  }
+
+  void collect_lp_stats(MilpSolution& out) const {
+    if (use_revised_ && revised_.has_value()) {
+      const lp::SolveStats& stats = revised_->total_stats();
+      out.lp_pivots = stats.primal_pivots + stats.dual_pivots;
+      out.lp_warm_solves = stats.warm_solves;
+      out.lp_cold_solves = stats.cold_solves;
+      out.lp_refactorizations = stats.refactorizations;
+    } else {
+      out.lp_pivots = dense_pivots_;
+      out.lp_cold_solves = dense_solves_;
+    }
   }
 
   int most_fractional(const std::vector<double>& x) const {
     int best = -1;
     double best_score = options_.integrality_tolerance;
-    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
-      if (!model_.is_integer(c)) {
+    for (lp::Col c = 0; c < reduced_.variable_count(); ++c) {
+      if (!reduced_.is_integer(c)) {
         continue;
       }
       const double v = x[static_cast<std::size_t>(c)];
@@ -206,46 +357,76 @@ class Solver {
 
   void offer_incumbent(const std::vector<double>& x) {
     std::vector<double> snapped = x;
-    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
-      if (model_.is_integer(c)) {
+    for (lp::Col c = 0; c < reduced_.variable_count(); ++c) {
+      if (reduced_.is_integer(c)) {
         snapped[static_cast<std::size_t>(c)] =
             std::round(snapped[static_cast<std::size_t>(c)]);
       }
     }
-    const double value = model_.lp().objective_value(snapped);
-    if (!has_incumbent() || value < incumbent_value_ - 1e-12) {
-      if (model_.is_feasible(snapped, 1e-5)) {
+    const double value = reduced_.lp().objective_value(snapped);
+    if (!has_incumbent_ || value < incumbent_value_ - 1e-12) {
+      if (reduced_.is_feasible(snapped, 1e-5)) {
         incumbent_ = std::move(snapped);
         incumbent_value_ = value;
+        has_incumbent_ = true;
       }
     }
   }
 
   void try_rounding(const std::vector<double>& x) {
     std::vector<double> rounded = x;
-    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
-      if (model_.is_integer(c)) {
+    for (lp::Col c = 0; c < reduced_.variable_count(); ++c) {
+      if (reduced_.is_integer(c)) {
         rounded[static_cast<std::size_t>(c)] =
             std::round(rounded[static_cast<std::size_t>(c)]);
       }
     }
-    const double value = model_.lp().objective_value(rounded);
-    if ((!has_incumbent() || value < incumbent_value_ - 1e-12) &&
-        model_.is_feasible(rounded, options_.integrality_tolerance)) {
+    const double value = reduced_.lp().objective_value(rounded);
+    if ((!has_incumbent_ || value < incumbent_value_ - 1e-12) &&
+        reduced_.is_feasible(rounded, options_.integrality_tolerance)) {
       incumbent_ = std::move(rounded);
       incumbent_value_ = value;
+      has_incumbent_ = true;
     }
   }
 
+  std::vector<double> restore_incumbent() const {
+    std::vector<double> full =
+        pre_.has_value() ? pre_->restore(incumbent_) : incumbent_;
+    for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+      if (model_.is_integer(c)) {
+        full[static_cast<std::size_t>(c)] = std::round(full[static_cast<std::size_t>(c)]);
+      }
+    }
+    return full;
+  }
+
+  struct BoundUndo {
+    lp::Col col;
+    double lower;
+    double upper;
+  };
+
   const MilpModel& model_;
   const MilpOptions& options_;
-  lp::LpModel scratch_;
-  lp::SimplexOptions simplex_options_{};
+  std::optional<lp::Presolved> pre_;
+  MilpModel reduced_;  ///< presolved model the search actually branches over
+  double objective_offset_ = 0.0;  ///< objective mass on presolve-fixed columns
+  bool use_revised_ = true;
+  std::optional<lp::RevisedSimplex> revised_;
+  lp::LpModel scratch_;  ///< dense-algorithm path: bounds applied in place
+  std::vector<double> cur_lower_;  ///< effective bounds of the node being solved
+  std::vector<double> cur_upper_;
+  std::vector<const PathStep*> path_buffer_;
+  std::vector<BoundUndo> undo_stack_;
+  long dense_solves_ = 0;
+  long dense_pivots_ = 0;
   bool deadline_set_;
   Clock::time_point deadline_{};
   long nodes_ = 0;
   bool cancelled_ = false;
-  std::vector<double> incumbent_;
+  bool has_incumbent_ = false;
+  std::vector<double> incumbent_;  ///< reduced space; restored on exit
   double incumbent_value_ = std::numeric_limits<double>::infinity();
 };
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/simplex.hpp"
 #include "milp/model.hpp"
 #include "util/cancellation.hpp"
 
@@ -35,6 +36,14 @@ struct MilpOptions {
   std::optional<std::vector<double>> warm_start;
   /// Try rounding fractional LP relaxations into incumbents.
   bool enable_rounding_heuristic = true;
+  /// LP solver configuration for node relaxations. With the (default)
+  /// Revised algorithm, child nodes re-solve with the dual simplex from
+  /// their parent's optimal basis; the Dense algorithm solves every node
+  /// cold and exists for differential testing.
+  lp::SimplexOptions simplex{};
+  /// Run lp::presolve once at the root (fixed-column elimination, empty and
+  /// singleton rows) and branch in the reduced space.
+  bool presolve = true;
   /// Cooperative cancellation: polled between nodes. A cancelled solve
   /// returns like a limit-hit one (Feasible with the incumbent so far, or
   /// NoSolution) with `cancelled` set in the solution.
@@ -49,6 +58,12 @@ struct MilpSolution {
   long nodes = 0;
   /// True when the search stopped because MilpOptions::cancel fired.
   bool cancelled = false;
+
+  // LP work performed across all node relaxations, for the engine metrics.
+  long lp_pivots = 0;           ///< simplex pivots (primal + dual)
+  long lp_warm_solves = 0;      ///< node re-solves warm-started from a parent basis
+  long lp_cold_solves = 0;      ///< from-scratch two-phase solves
+  long lp_refactorizations = 0; ///< basis refactorizations in the revised solver
 
   static constexpr double kBigBound = 1e100;
 };

@@ -41,6 +41,11 @@ class MilpModel {
     return kinds_[static_cast<std::size_t>(c)] != VarKind::Continuous;
   }
   [[nodiscard]] VarKind kind(lp::Col c) const { return kinds_[static_cast<std::size_t>(c)]; }
+
+  /// Reclassifies an existing column. Used when mirroring a presolved LP
+  /// into a reduced MILP, where bounds may already be tighter than the
+  /// canonical {0, 1} box add_variable enforces for binaries.
+  void set_kind(lp::Col c, VarKind kind) { kinds_[static_cast<std::size_t>(c)] = kind; }
   [[nodiscard]] int variable_count() const { return lp_.variable_count(); }
   [[nodiscard]] int constraint_count() const { return lp_.constraint_count(); }
 
