@@ -50,6 +50,11 @@ LayerOutcome solve_with_hooks(const schedule::LayerRequest& request,
       event.lp_warm_solves = outcome.lp_warm_solves;
       event.lp_cold_solves = outcome.lp_cold_solves;
       event.lp_refactorizations = outcome.lp_refactorizations;
+      event.milp_threads = outcome.milp_threads;
+      event.milp_steals = outcome.milp_steals;
+      event.milp_incumbent_updates = outcome.milp_incumbent_updates;
+      event.milp_incumbent_races = outcome.milp_incumbent_races;
+      event.milp_idle_seconds = outcome.milp_idle_seconds;
     }
     event.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
     options.observer->on_layer_solve(event);

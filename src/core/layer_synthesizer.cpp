@@ -79,6 +79,20 @@ bool ilp_applicable(const schedule::LayerRequest& request, const EngineOptions& 
   return !request.binds && !request.new_config;
 }
 
+void copy_milp_stats(LayerOutcome& outcome, const milp::MilpSolution& solution) {
+  outcome.milp_nodes = solution.nodes;
+  outcome.milp_cancelled = solution.cancelled;
+  outcome.lp_pivots = solution.lp_pivots;
+  outcome.lp_warm_solves = solution.lp_warm_solves;
+  outcome.lp_cold_solves = solution.lp_cold_solves;
+  outcome.lp_refactorizations = solution.lp_refactorizations;
+  outcome.milp_threads = solution.threads_used;
+  outcome.milp_steals = solution.steals;
+  outcome.milp_incumbent_updates = solution.incumbent_updates;
+  outcome.milp_incumbent_races = solution.incumbent_races;
+  outcome.milp_idle_seconds = solution.worker_idle_seconds;
+}
+
 }  // namespace
 
 LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
@@ -114,12 +128,7 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
   try {
     const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
     const auto solution = milp::solve_milp(ilp.model(), engine.milp);
-    heuristic.milp_nodes = solution.nodes;
-    heuristic.milp_cancelled = solution.cancelled;
-    heuristic.lp_pivots = solution.lp_pivots;
-    heuristic.lp_warm_solves = solution.lp_warm_solves;
-    heuristic.lp_cold_solves = solution.lp_cold_solves;
-    heuristic.lp_refactorizations = solution.lp_refactorizations;
+    copy_milp_stats(heuristic, solution);
     if (solution.status != milp::MilpStatus::Optimal &&
         solution.status != milp::MilpStatus::Feasible) {
       return heuristic;
@@ -129,12 +138,7 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
     exact.result = ilp.decode(solution.values, exact.inventory);
     exact.used_ilp = true;
     exact.score = layer_score(exact.result, exact.inventory, request, assay, costs);
-    exact.milp_nodes = solution.nodes;
-    exact.milp_cancelled = solution.cancelled;
-    exact.lp_pivots = solution.lp_pivots;
-    exact.lp_warm_solves = solution.lp_warm_solves;
-    exact.lp_cold_solves = solution.lp_cold_solves;
-    exact.lp_refactorizations = solution.lp_refactorizations;
+    copy_milp_stats(exact, solution);
     return exact.score < heuristic.score - 1e-9 ? exact : heuristic;
   } catch (const InfeasibleError&) {
     return heuristic;  // e.g. inventory exhausted while decoding

@@ -26,6 +26,15 @@ struct LayerOutcome {
   long lp_warm_solves = 0;
   long lp_cold_solves = 0;
   long lp_refactorizations = 0;
+  /// Parallel MILP search summary (defaults when the solve ran sequentially):
+  /// worker team size, nodes stolen across worker deques, accepted shared
+  /// incumbent updates, offers lost to a concurrent update, and summed wall
+  /// time workers spent waiting for work.
+  int milp_threads = 1;
+  long milp_steals = 0;
+  long milp_incumbent_updates = 0;
+  long milp_incumbent_races = 0;
+  double milp_idle_seconds = 0.0;
   /// The MILP stopped on a cancellation token rather than on exhaustion or
   /// a budget. The outcome (the heuristic fallback) is still usable, but it
   /// must not be cached: a fresh solve could return something better.

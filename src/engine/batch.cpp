@@ -1,9 +1,11 @@
 #include "engine/batch.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "baseline/conventional.hpp"
@@ -30,7 +32,12 @@ class MetricsObserver final : public core::SolveObserver {
         lp_warm_solves_(metrics.counter("lp_warm_solves")),
         lp_cold_solves_(metrics.counter("lp_cold_solves")),
         lp_refactorizations_(metrics.counter("lp_refactorizations")),
-        solve_seconds_(metrics.histogram("layer_solve_seconds")) {}
+        milp_parallel_solves_(metrics.counter("milp_parallel_solves")),
+        milp_steals_(metrics.counter("milp_steals")),
+        milp_incumbent_updates_(metrics.counter("milp_incumbent_updates")),
+        milp_incumbent_races_(metrics.counter("milp_incumbent_races")),
+        solve_seconds_(metrics.histogram("layer_solve_seconds")),
+        milp_idle_seconds_(metrics.histogram("milp_worker_idle_seconds")) {}
 
   void on_layer_solve(const core::LayerSolveEvent& event) override {
     if (event.cache_hit) {
@@ -46,6 +53,13 @@ class MetricsObserver final : public core::SolveObserver {
     lp_warm_solves_.add(event.lp_warm_solves);
     lp_cold_solves_.add(event.lp_cold_solves);
     lp_refactorizations_.add(event.lp_refactorizations);
+    if (event.milp_threads > 1) {
+      milp_parallel_solves_.increment();
+      milp_steals_.add(event.milp_steals);
+      milp_incumbent_updates_.add(event.milp_incumbent_updates);
+      milp_incumbent_races_.add(event.milp_incumbent_races);
+      milp_idle_seconds_.observe(event.milp_idle_seconds);
+    }
     solve_seconds_.observe(event.seconds);
   }
 
@@ -58,7 +72,12 @@ class MetricsObserver final : public core::SolveObserver {
   Counter& lp_warm_solves_;
   Counter& lp_cold_solves_;
   Counter& lp_refactorizations_;
+  Counter& milp_parallel_solves_;
+  Counter& milp_steals_;
+  Counter& milp_incumbent_updates_;
+  Counter& milp_incumbent_races_;
   Histogram& solve_seconds_;
+  Histogram& milp_idle_seconds_;
 };
 
 std::string read_file(const std::string& path) {
@@ -89,6 +108,18 @@ std::string to_string(JobStatus status) {
   return "unknown";
 }
 
+int arbitrated_milp_threads(int requested, int jobs, unsigned hardware_threads) {
+  if (hardware_threads == 0) {
+    hardware_threads = std::thread::hardware_concurrency();
+  }
+  const int budget =
+      std::max(1, static_cast<int>(hardware_threads) / std::max(1, jobs));
+  if (requested <= 0) {
+    return budget;  // auto: the whole per-job share
+  }
+  return std::min(requested, budget);
+}
+
 BatchEngine::BatchEngine(BatchOptions options)
     : options_(options),
       cache_(options.cache_capacity > 0 ? options.cache_capacity : 1) {
@@ -115,6 +146,11 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
     if (options_.cache_capacity > 0) {
       options.layer_cache = &cache_;
     }
+    // Per-solve workers and batch jobs draw from one concurrency budget, so
+    // a fully loaded pool degrades every solve to a single worker instead of
+    // oversubscribing the machine.
+    options.engine.milp.threads =
+        arbitrated_milp_threads(options_.milp_threads, options_.jobs);
     if (options_.deterministic_budgets) {
       // Wall-clock budgets make the layer solver load-dependent, which
       // breaks both the cache and --jobs determinism; fall back to a node

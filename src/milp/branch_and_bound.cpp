@@ -1,11 +1,16 @@
 #include "milp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <exception>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "lp/presolve.hpp"
@@ -34,7 +39,9 @@ using Clock = std::chrono::steady_clock;
 /// lower/upper vector copies the solver used to carry per node. The stored
 /// bounds are absolute (already intersected with everything above them on
 /// the path), so replaying root-to-leaf in order reproduces the node's
-/// effective bounds exactly.
+/// effective bounds exactly. The shared_ptr spine is refcounted, so a
+/// subtree stolen by another worker keeps its path alive no matter when the
+/// victim pops (and drops) its own nodes.
 struct PathStep {
   lp::Col col = -1;
   double lower = 0.0;
@@ -46,6 +53,82 @@ struct Node {
   std::shared_ptr<const PathStep> path;    ///< bound deltas from the root
   std::shared_ptr<const lp::Basis> basis;  ///< parent's optimal basis, if any
   double parent_bound = 0.0;  ///< LP bound of the parent, for pruning before solving
+};
+
+struct BoundUndo {
+  lp::Col col;
+  double lower;
+  double upper;
+};
+
+/// Everything one search thread needs to solve node relaxations: a private
+/// LP workspace (revised simplex sharing the immutable CSC matrix, or a
+/// cold scratch model), the effective-bound arrays of the node being
+/// solved, and the path/undo scratch. Never shared between threads.
+struct Workspace {
+  std::optional<lp::RevisedSimplex> revised;
+  lp::LpModel scratch;  ///< cold-solve path: bounds applied in place, one-shot solve_lp per node
+  std::vector<double> cur_lower;  ///< effective bounds of the node being solved
+  std::vector<double> cur_upper;
+  std::vector<const PathStep*> path_buffer;
+  std::vector<BoundUndo> undo_stack;
+  long cold_scratch_solves = 0;
+  long cold_scratch_pivots = 0;
+};
+
+/// Per-worker slice of the parallel search result, merged after the join.
+struct WorkerReport {
+  lp::SolveStats lp{};
+  long cold_scratch_solves = 0;
+  long cold_scratch_pivots = 0;
+  double idle_seconds = 0.0;
+};
+
+/// A worker's node deque. The owner pushes and pops at the back (depth
+/// first, so the first child usually re-solves against an unchanged
+/// factorization); thieves take from the front, which holds the nodes
+/// closest to the root — the largest subtrees, amortizing the thief's
+/// refactorization over the most work.
+struct WorkerDeque {
+  std::mutex mutex;
+  std::deque<Node> nodes;
+};
+
+/// State shared by the worker team: the deques, the incumbent, the global
+/// budgets and the outcome flags. Budget counters use relaxed atomics — the
+/// queues' mutexes order the node hand-offs; the counters only need
+/// eventual agreement, not ordering.
+struct SharedSearch {
+  explicit SharedSearch(int workers) : queues(static_cast<std::size_t>(workers)) {}
+
+  std::vector<WorkerDeque> queues;
+  /// Nodes queued or currently being expanded; the team is done when 0.
+  std::atomic<long> open_nodes{0};
+  std::atomic<long> nodes{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> exhausted{true};
+  std::atomic<bool> root_infeasible{false};
+  std::atomic<bool> any_lp_solved{false};
+
+  /// Lock-free mirror of the incumbent value for pruning reads; the value
+  /// vector itself (and the authoritative value) live under the mutex.
+  std::atomic<bool> has_incumbent{false};
+  std::atomic<double> best_value{std::numeric_limits<double>::infinity()};
+  std::mutex incumbent_mutex;
+  std::vector<double> incumbent;
+  double incumbent_value = std::numeric_limits<double>::infinity();
+
+  /// Root relaxation bound, written once by whichever worker solves the root.
+  std::atomic<double> root_bound{-MilpSolution::kBigBound};
+
+  std::atomic<long> steals{0};
+  std::atomic<long> incumbent_updates{0};
+  std::atomic<long> incumbent_races{0};
+
+  /// First worker exception, rethrown on the calling thread after the join.
+  std::mutex error_mutex;
+  std::exception_ptr error;
 };
 
 class Solver {
@@ -65,7 +148,17 @@ class Solver {
       return out;
     }
     seed_warm_start();
+    if (options_.threads > 1) {
+      return run_parallel(options_.threads);
+    }
+    return run_sequential();
+  }
 
+ private:
+  // --- sequential search (threads == 1; the exact historical behavior) ------
+
+  MilpSolution run_sequential() {
+    MilpSolution out;
     std::vector<Node> stack;
     stack.push_back(Node{nullptr, nullptr, -MilpSolution::kBigBound});
     double global_bound = -MilpSolution::kBigBound;
@@ -91,25 +184,25 @@ class Solver {
       }
 
       ++nodes_;
-      apply_path(node.path);
-      const lp::LpSolution relax = solve_node(node);
+      apply_path(ws_, node.path);
+      const lp::LpSolution relax = solve_node(ws_, node);
       if (relax.status == lp::LpStatus::Infeasible) {
         if (nodes_ == 1) {
           root_infeasible_proven = true;
         }
-        undo_path();
+        undo_path(ws_);
         continue;
       }
       if (relax.status == lp::LpStatus::Unbounded) {
         // An unbounded relaxation of a bounded-variable MILP means free
         // continuous directions; report the best we have.
         exhausted = false;
-        undo_path();
+        undo_path(ws_);
         continue;
       }
       if (relax.status != lp::LpStatus::Optimal) {
         exhausted = false;  // iteration limit: bound unknown, cannot prune
-        undo_path();
+        undo_path(ws_);
         continue;
       }
       any_lp_solved = true;
@@ -118,7 +211,7 @@ class Solver {
         global_bound = bound;
       }
       if (has_incumbent_ && bound >= incumbent_value_ - options_.absolute_gap) {
-        undo_path();
+        undo_path(ws_);
         continue;
       }
 
@@ -126,7 +219,7 @@ class Solver {
       if (branch_col < 0) {
         // Integral: new incumbent.
         offer_incumbent(relax.values);
-        undo_path();
+        undo_path(ws_);
         continue;
       }
       if (options_.enable_rounding_heuristic) {
@@ -137,22 +230,22 @@ class Solver {
       // simplex after the single branching-bound change.
       std::shared_ptr<const lp::Basis> child_basis;
       if (use_revised_) {
-        child_basis = std::make_shared<lp::Basis>(revised_->basis());
+        child_basis = std::make_shared<lp::Basis>(ws_.revised->basis());
       }
       const std::size_t bc = static_cast<std::size_t>(branch_col);
       const double value = relax.values[bc];
       const double floor_value = std::floor(value);
-      const double down_hi = std::min(cur_upper_[bc], floor_value);
-      const double up_lo = std::max(cur_lower_[bc], floor_value + 1.0);
+      const double down_hi = std::min(ws_.cur_upper[bc], floor_value);
+      const double up_lo = std::max(ws_.cur_lower[bc], floor_value + 1.0);
       Node down{std::make_shared<PathStep>(
-                    PathStep{branch_col, cur_lower_[bc], down_hi, node.path}),
+                    PathStep{branch_col, ws_.cur_lower[bc], down_hi, node.path}),
                 child_basis, bound};
       Node up{std::make_shared<PathStep>(
-                  PathStep{branch_col, up_lo, cur_upper_[bc], node.path}),
+                  PathStep{branch_col, up_lo, ws_.cur_upper[bc], node.path}),
               child_basis, bound};
-      const bool down_viable = cur_lower_[bc] <= down_hi;
-      const bool up_viable = up_lo <= cur_upper_[bc];
-      undo_path();
+      const bool down_viable = ws_.cur_lower[bc] <= down_hi;
+      const bool up_viable = up_lo <= ws_.cur_upper[bc];
+      undo_path(ws_);
       // Depth-first; explore the child nearer the fractional value first
       // (push it last so it pops first).
       const bool up_first = value - floor_value > 0.5;
@@ -170,30 +263,324 @@ class Solver {
     out.nodes = nodes_;
     out.cancelled = cancelled_;
     collect_lp_stats(out);
-    const double bound_offset = objective_offset_;
-    out.best_bound = exhausted && has_incumbent_ ? incumbent_value_ + bound_offset
-                                                 : global_bound + bound_offset;
-    if (has_incumbent_) {
-      out.values = restore_incumbent();
-      out.objective = model_.lp().objective_value(out.values);
-      out.status = exhausted ? MilpStatus::Optimal : MilpStatus::Feasible;
-      if (exhausted) {
-        out.best_bound = out.objective;
-      }
-    } else if (exhausted && (any_lp_solved || root_infeasible_proven || nodes_ > 0)) {
-      out.status = MilpStatus::Infeasible;
-    } else {
-      out.status = MilpStatus::NoSolution;
-    }
+    finish(out, exhausted, global_bound, root_infeasible_proven, any_lp_solved);
     return out;
   }
 
- private:
-  /// Presolves the model, builds the reduced-space MILP and the node
+  // --- parallel search (threads > 1) ----------------------------------------
+
+  MilpSolution run_parallel(int threads) {
+    SharedSearch shared(threads);
+    if (has_incumbent_) {
+      shared.incumbent = incumbent_;
+      shared.incumbent_value = incumbent_value_;
+      shared.best_value.store(incumbent_value_, std::memory_order_relaxed);
+      shared.has_incumbent.store(true, std::memory_order_release);
+    }
+    shared.queues[0].nodes.push_back(Node{nullptr, nullptr, -MilpSolution::kBigBound});
+    shared.open_nodes.store(1, std::memory_order_release);
+
+    std::vector<WorkerReport> reports(static_cast<std::size_t>(threads));
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int t = 1; t < threads; ++t) {
+      team.emplace_back([this, &shared, &reports, t] {
+        worker_main(shared, t, reports[static_cast<std::size_t>(t)]);
+      });
+    }
+    worker_main(shared, 0, reports[0]);
+    for (std::thread& member : team) {
+      member.join();
+    }
+    if (shared.error != nullptr) {
+      std::rethrow_exception(shared.error);
+    }
+
+    MilpSolution out;
+    out.nodes = shared.nodes.load(std::memory_order_relaxed);
+    out.cancelled = shared.cancelled.load(std::memory_order_relaxed);
+    out.threads_used = threads;
+    out.steals = shared.steals.load(std::memory_order_relaxed);
+    out.incumbent_updates = shared.incumbent_updates.load(std::memory_order_relaxed);
+    out.incumbent_races = shared.incumbent_races.load(std::memory_order_relaxed);
+    lp::SolveStats lp_total;
+    for (const WorkerReport& report : reports) {
+      out.worker_idle_seconds += report.idle_seconds;
+      lp_total.accumulate(report.lp);
+      out.lp_pivots += report.cold_scratch_pivots;
+      out.lp_cold_solves += report.cold_scratch_solves;
+    }
+    if (use_revised_) {
+      out.lp_pivots = lp_total.primal_pivots + lp_total.dual_pivots;
+      out.lp_warm_solves = lp_total.warm_solves;
+      out.lp_cold_solves = lp_total.cold_solves;
+      out.lp_refactorizations = lp_total.refactorizations;
+    }
+
+    has_incumbent_ = shared.has_incumbent.load(std::memory_order_acquire);
+    incumbent_ = std::move(shared.incumbent);
+    incumbent_value_ = shared.incumbent_value;
+    finish(out, shared.exhausted.load(std::memory_order_relaxed),
+           shared.root_bound.load(std::memory_order_relaxed),
+           shared.root_infeasible.load(std::memory_order_relaxed),
+           shared.any_lp_solved.load(std::memory_order_relaxed));
+    return out;
+  }
+
+  void worker_main(SharedSearch& shared, int id, WorkerReport& report) {
+    try {
+      // Worker 0 inherits the root workspace prepare() built (ws_ stays in
+      // place: the other workers clone its revised instance concurrently);
+      // the rest get private clones sharing the immutable CSC matrix.
+      std::optional<Workspace> local;
+      if (id != 0) {
+        local.emplace(make_worker_workspace());
+      }
+      Workspace& ws = id == 0 ? ws_ : *local;
+      int spins = 0;
+      while (!shared.stop.load(std::memory_order_acquire)) {
+        Node node;
+        if (!pop_or_steal(shared, id, node)) {
+          if (shared.open_nodes.load(std::memory_order_acquire) == 0) {
+            break;  // tree fully explored
+          }
+          const Clock::time_point idle_begin = Clock::now();
+          if (spins < 64) {
+            ++spins;
+            std::this_thread::yield();
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+          report.idle_seconds +=
+              std::chrono::duration<double>(Clock::now() - idle_begin).count();
+          continue;
+        }
+        spins = 0;
+        process_node(shared, ws, id, node);
+        shared.open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (ws.revised.has_value()) {
+        report.lp = ws.revised->total_stats();
+      }
+      report.cold_scratch_solves = ws.cold_scratch_solves;
+      report.cold_scratch_pivots = ws.cold_scratch_pivots;
+    } catch (...) {
+      std::lock_guard lock(shared.error_mutex);
+      if (shared.error == nullptr) {
+        shared.error = std::current_exception();
+      }
+      shared.exhausted.store(false, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_release);
+    }
+  }
+
+  /// A fresh workspace for workers 1..N-1, sharing ws_'s immutable CSC
+  /// matrix read-only (cold-solve path: a private scratch model copy).
+  Workspace make_worker_workspace() {
+    Workspace ws;
+    if (use_revised_) {
+      ws.revised.emplace(ws_.revised->clone_workspace());
+    } else {
+      ws.scratch = reduced_.lp();
+    }
+    const int n = reduced_.variable_count();
+    ws.cur_lower.resize(static_cast<std::size_t>(n));
+    ws.cur_upper.resize(static_cast<std::size_t>(n));
+    for (lp::Col c = 0; c < n; ++c) {
+      ws.cur_lower[static_cast<std::size_t>(c)] = reduced_.lp().lower_bound(c);
+      ws.cur_upper[static_cast<std::size_t>(c)] = reduced_.lp().upper_bound(c);
+    }
+    return ws;
+  }
+
+  bool pop_or_steal(SharedSearch& shared, int id, Node& out) {
+    WorkerDeque& own = shared.queues[static_cast<std::size_t>(id)];
+    {
+      std::lock_guard lock(own.mutex);
+      if (!own.nodes.empty()) {
+        out = std::move(own.nodes.back());
+        own.nodes.pop_back();
+        return true;
+      }
+    }
+    const int team = static_cast<int>(shared.queues.size());
+    for (int k = 1; k < team; ++k) {
+      WorkerDeque& victim = shared.queues[static_cast<std::size_t>((id + k) % team)];
+      std::lock_guard lock(victim.mutex);
+      if (!victim.nodes.empty()) {
+        out = std::move(victim.nodes.front());
+        victim.nodes.pop_front();
+        shared.steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The parallel twin of the sequential loop body; identical pruning,
+  /// branching and accounting, against the shared incumbent and budgets.
+  void process_node(SharedSearch& shared, Workspace& ws, int id, Node& node) {
+    if (options_.cancel.can_cancel() && options_.cancel.cancelled()) {
+      shared.cancelled.store(true, std::memory_order_relaxed);
+      shared.exhausted.store(false, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_release);
+      return;
+    }
+    if (deadline_set_ && Clock::now() >= deadline_) {
+      shared.exhausted.store(false, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_release);
+      return;
+    }
+    if (shared.has_incumbent.load(std::memory_order_acquire) &&
+        node.parent_bound >=
+            shared.best_value.load(std::memory_order_relaxed) - options_.absolute_gap) {
+      return;  // cannot improve on the incumbent
+    }
+    const long sequence = shared.nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.max_nodes > 0 && sequence > options_.max_nodes) {
+      shared.nodes.fetch_sub(1, std::memory_order_relaxed);
+      shared.exhausted.store(false, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_release);
+      return;
+    }
+
+    apply_path(ws, node.path);
+    const lp::LpSolution relax = solve_node(ws, node);
+    if (relax.status == lp::LpStatus::Infeasible) {
+      if (node.path == nullptr) {
+        shared.root_infeasible.store(true, std::memory_order_relaxed);
+      }
+      undo_path(ws);
+      return;
+    }
+    if (relax.status != lp::LpStatus::Optimal) {
+      // Unbounded ray or iteration limit: bound unknown, cannot prune.
+      shared.exhausted.store(false, std::memory_order_relaxed);
+      undo_path(ws);
+      return;
+    }
+    shared.any_lp_solved.store(true, std::memory_order_relaxed);
+    const double bound = relax.objective;
+    if (node.path == nullptr) {
+      shared.root_bound.store(bound, std::memory_order_relaxed);
+    }
+    if (shared.has_incumbent.load(std::memory_order_acquire) &&
+        bound >= shared.best_value.load(std::memory_order_relaxed) - options_.absolute_gap) {
+      undo_path(ws);
+      return;
+    }
+
+    const int branch_col = most_fractional(relax.values);
+    if (branch_col < 0) {
+      offer_shared(shared, relax.values, /*tolerance=*/1e-5);
+      undo_path(ws);
+      return;
+    }
+    if (options_.enable_rounding_heuristic) {
+      offer_shared(shared, relax.values, options_.integrality_tolerance);
+    }
+
+    std::shared_ptr<const lp::Basis> child_basis;
+    if (use_revised_) {
+      child_basis = std::make_shared<lp::Basis>(ws.revised->basis());
+    }
+    const std::size_t bc = static_cast<std::size_t>(branch_col);
+    const double value = relax.values[bc];
+    const double floor_value = std::floor(value);
+    const double down_hi = std::min(ws.cur_upper[bc], floor_value);
+    const double up_lo = std::max(ws.cur_lower[bc], floor_value + 1.0);
+    Node down{std::make_shared<PathStep>(
+                  PathStep{branch_col, ws.cur_lower[bc], down_hi, node.path}),
+              child_basis, bound};
+    Node up{std::make_shared<PathStep>(
+                PathStep{branch_col, up_lo, ws.cur_upper[bc], node.path}),
+            child_basis, bound};
+    const bool down_viable = ws.cur_lower[bc] <= down_hi;
+    const bool up_viable = up_lo <= ws.cur_upper[bc];
+    undo_path(ws);
+    const bool up_first = value - floor_value > 0.5;
+    WorkerDeque& own = shared.queues[static_cast<std::size_t>(id)];
+    auto push_child = [&shared, &own](Node&& child) {
+      // Count the node open *before* it becomes stealable, so open_nodes
+      // never under-reports and no worker exits while work remains.
+      shared.open_nodes.fetch_add(1, std::memory_order_acq_rel);
+      std::lock_guard lock(own.mutex);
+      own.nodes.push_back(std::move(child));
+    };
+    if (down_viable && !up_first) {
+      push_child(std::move(down));
+    }
+    if (up_viable) {
+      push_child(std::move(up));
+    }
+    if (down_viable && up_first) {
+      push_child(std::move(down));
+    }
+  }
+
+  /// Snaps integer columns, validates feasibility and offers the point as a
+  /// shared incumbent. Strictly worse offers are rejected without the lock;
+  /// at equal objective the lexicographically smaller vector wins, which
+  /// keeps exhausted parallel solves reproducible where exploration order
+  /// would otherwise decide the tie.
+  void offer_shared(SharedSearch& shared, const std::vector<double>& x, double tolerance) {
+    std::vector<double> snapped = x;
+    for (lp::Col c = 0; c < reduced_.variable_count(); ++c) {
+      if (reduced_.is_integer(c)) {
+        snapped[static_cast<std::size_t>(c)] =
+            std::round(snapped[static_cast<std::size_t>(c)]);
+      }
+    }
+    const double value = reduced_.lp().objective_value(snapped);
+    constexpr double kTie = 1e-12;
+    if (shared.has_incumbent.load(std::memory_order_acquire) &&
+        value > shared.best_value.load(std::memory_order_relaxed) + kTie) {
+      return;
+    }
+    if (!reduced_.is_feasible(snapped, tolerance)) {
+      return;
+    }
+    std::lock_guard lock(shared.incumbent_mutex);
+    const bool has = shared.has_incumbent.load(std::memory_order_relaxed);
+    bool take = !has || value < shared.incumbent_value - kTie;
+    if (!take && has && value <= shared.incumbent_value + kTie) {
+      take = std::lexicographical_compare(snapped.begin(), snapped.end(),
+                                          shared.incumbent.begin(),
+                                          shared.incumbent.end());
+    }
+    if (!take) {
+      shared.incumbent_races.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    shared.incumbent_value = has ? std::min(value, shared.incumbent_value) : value;
+    shared.incumbent = std::move(snapped);
+    shared.best_value.store(shared.incumbent_value, std::memory_order_relaxed);
+    shared.has_incumbent.store(true, std::memory_order_release);
+    shared.incumbent_updates.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- shared machinery -----------------------------------------------------
+
+  /// Presolves the model, builds the reduced-space MILP and the root node
   /// solver. Returns false when presolve alone proves infeasibility (which
   /// includes an integer column fixed to a fractional value).
   bool prepare() {
-    if (options_.presolve) {
+    // Decide the solve strategy up front, on the ORIGINAL model size, so the
+    // choice is independent of what presolve removes. Tiny models are usually
+    // solved at the root without branching, where the whole fast path — root
+    // presolve, CSC build, refactorization state — costs more than warm
+    // re-solves can recoup; below the threshold the solver skips presolve and
+    // the persistent workspace and gives every node a one-shot cold solve,
+    // which has the lowest constant factor at this scale.
+    use_revised_ = options_.simplex.algorithm == lp::SimplexAlgorithm::Revised;
+    bool cold_fallback = false;
+    if (use_revised_ && options_.cold_solve_threshold > 0 &&
+        model_.variable_count() + model_.constraint_count() <=
+            options_.cold_solve_threshold) {
+      use_revised_ = false;
+      cold_fallback = true;
+    }
+    if (options_.presolve && !cold_fallback) {
       pre_ = lp::presolve(model_.lp());
       if (pre_->infeasible()) {
         return false;
@@ -227,18 +614,17 @@ class Solver {
     }
 
     const int n = reduced_.variable_count();
-    cur_lower_.resize(static_cast<std::size_t>(n));
-    cur_upper_.resize(static_cast<std::size_t>(n));
+    ws_.cur_lower.resize(static_cast<std::size_t>(n));
+    ws_.cur_upper.resize(static_cast<std::size_t>(n));
     for (lp::Col c = 0; c < n; ++c) {
-      cur_lower_[static_cast<std::size_t>(c)] = reduced_.lp().lower_bound(c);
-      cur_upper_[static_cast<std::size_t>(c)] = reduced_.lp().upper_bound(c);
+      ws_.cur_lower[static_cast<std::size_t>(c)] = reduced_.lp().lower_bound(c);
+      ws_.cur_upper[static_cast<std::size_t>(c)] = reduced_.lp().upper_bound(c);
     }
 
-    use_revised_ = options_.simplex.algorithm == lp::SimplexAlgorithm::Revised;
     if (use_revised_) {
-      revised_.emplace(reduced_.lp(), options_.simplex);
+      ws_.revised.emplace(reduced_.lp(), options_.simplex);
     } else {
-      scratch_ = reduced_.lp();
+      ws_.scratch = reduced_.lp();
     }
     return true;
   }
@@ -279,62 +665,62 @@ class Solver {
     return deadline_set_ && Clock::now() >= deadline_;
   }
 
-  /// Replays the node's branch path onto the effective-bound arrays and the
-  /// node solver, recording undo entries.
-  void apply_path(const std::shared_ptr<const PathStep>& path) {
-    path_buffer_.clear();
+  /// Replays the node's branch path onto the workspace's effective-bound
+  /// arrays and its node solver, recording undo entries.
+  void apply_path(Workspace& ws, const std::shared_ptr<const PathStep>& path) {
+    ws.path_buffer.clear();
     for (const PathStep* step = path.get(); step != nullptr; step = step->parent.get()) {
-      path_buffer_.push_back(step);
+      ws.path_buffer.push_back(step);
     }
-    for (auto it = path_buffer_.rbegin(); it != path_buffer_.rend(); ++it) {
+    for (auto it = ws.path_buffer.rbegin(); it != ws.path_buffer.rend(); ++it) {
       const PathStep* step = *it;
       const std::size_t c = static_cast<std::size_t>(step->col);
-      undo_stack_.push_back({step->col, cur_lower_[c], cur_upper_[c]});
-      set_node_bounds(step->col, step->lower, step->upper);
+      ws.undo_stack.push_back({step->col, ws.cur_lower[c], ws.cur_upper[c]});
+      set_node_bounds(ws, step->col, step->lower, step->upper);
     }
   }
 
-  void undo_path() {
-    for (auto it = undo_stack_.rbegin(); it != undo_stack_.rend(); ++it) {
-      set_node_bounds(it->col, it->lower, it->upper);
+  void undo_path(Workspace& ws) {
+    for (auto it = ws.undo_stack.rbegin(); it != ws.undo_stack.rend(); ++it) {
+      set_node_bounds(ws, it->col, it->lower, it->upper);
     }
-    undo_stack_.clear();
+    ws.undo_stack.clear();
   }
 
-  void set_node_bounds(lp::Col c, double lower, double upper) {
+  void set_node_bounds(Workspace& ws, lp::Col c, double lower, double upper) {
     const std::size_t j = static_cast<std::size_t>(c);
-    cur_lower_[j] = lower;
-    cur_upper_[j] = upper;
+    ws.cur_lower[j] = lower;
+    ws.cur_upper[j] = upper;
     if (use_revised_) {
-      revised_->set_bounds(c, lower, upper);
+      ws.revised->set_bounds(c, lower, upper);
     } else {
-      scratch_.set_bounds(c, lower, upper);
+      ws.scratch.set_bounds(c, lower, upper);
     }
   }
 
-  lp::LpSolution solve_node(const Node& node) {
+  lp::LpSolution solve_node(Workspace& ws, const Node& node) {
     if (use_revised_) {
       if (node.basis != nullptr && !node.basis->empty()) {
-        return revised_->solve_from(*node.basis);
+        return ws.revised->solve_from(*node.basis);
       }
-      return revised_->solve();
+      return ws.revised->solve();
     }
-    const lp::LpSolution solution = lp::solve_lp(scratch_, options_.simplex);
-    ++dense_solves_;
-    dense_pivots_ += solution.iterations;
+    const lp::LpSolution solution = lp::solve_lp(ws.scratch, options_.simplex);
+    ++ws.cold_scratch_solves;
+    ws.cold_scratch_pivots += solution.iterations;
     return solution;
   }
 
   void collect_lp_stats(MilpSolution& out) const {
-    if (use_revised_ && revised_.has_value()) {
-      const lp::SolveStats& stats = revised_->total_stats();
+    if (use_revised_ && ws_.revised.has_value()) {
+      const lp::SolveStats& stats = ws_.revised->total_stats();
       out.lp_pivots = stats.primal_pivots + stats.dual_pivots;
       out.lp_warm_solves = stats.warm_solves;
       out.lp_cold_solves = stats.cold_solves;
       out.lp_refactorizations = stats.refactorizations;
     } else {
-      out.lp_pivots = dense_pivots_;
-      out.lp_cold_solves = dense_solves_;
+      out.lp_pivots = ws_.cold_scratch_pivots;
+      out.lp_cold_solves = ws_.cold_scratch_solves;
     }
   }
 
@@ -401,11 +787,25 @@ class Solver {
     return full;
   }
 
-  struct BoundUndo {
-    lp::Col col;
-    double lower;
-    double upper;
-  };
+  /// The common epilogue: best bound, incumbent restoration and status.
+  void finish(MilpSolution& out, bool exhausted, double global_bound,
+              bool root_infeasible_proven, bool any_lp_solved) {
+    const double bound_offset = objective_offset_;
+    out.best_bound = exhausted && has_incumbent_ ? incumbent_value_ + bound_offset
+                                                 : global_bound + bound_offset;
+    if (has_incumbent_) {
+      out.values = restore_incumbent();
+      out.objective = model_.lp().objective_value(out.values);
+      out.status = exhausted ? MilpStatus::Optimal : MilpStatus::Feasible;
+      if (exhausted) {
+        out.best_bound = out.objective;
+      }
+    } else if (exhausted && (any_lp_solved || root_infeasible_proven || out.nodes > 0)) {
+      out.status = MilpStatus::Infeasible;
+    } else {
+      out.status = MilpStatus::NoSolution;
+    }
+  }
 
   const MilpModel& model_;
   const MilpOptions& options_;
@@ -413,14 +813,7 @@ class Solver {
   MilpModel reduced_;  ///< presolved model the search actually branches over
   double objective_offset_ = 0.0;  ///< objective mass on presolve-fixed columns
   bool use_revised_ = true;
-  std::optional<lp::RevisedSimplex> revised_;
-  lp::LpModel scratch_;  ///< dense-algorithm path: bounds applied in place
-  std::vector<double> cur_lower_;  ///< effective bounds of the node being solved
-  std::vector<double> cur_upper_;
-  std::vector<const PathStep*> path_buffer_;
-  std::vector<BoundUndo> undo_stack_;
-  long dense_solves_ = 0;
-  long dense_pivots_ = 0;
+  Workspace ws_;  ///< root workspace; worker 0's in a parallel solve
   bool deadline_set_;
   Clock::time_point deadline_{};
   long nodes_ = 0;

@@ -24,8 +24,30 @@ enum class MilpStatus {
 [[nodiscard]] std::string to_string(MilpStatus status);
 
 struct MilpOptions {
-  /// Maximum branch-and-bound nodes (LP solves); <= 0 means unlimited.
+  /// Maximum branch-and-bound nodes (LP solves); <= 0 means unlimited. With
+  /// threads > 1 the budget is global across the worker team (enforced with
+  /// relaxed atomics), so a parallel solve expands the same number of nodes
+  /// as a sequential one.
   long max_nodes = 200000;
+  /// Branch-and-bound worker threads; values < 1 are treated as 1. The
+  /// default runs the exact sequential depth-first search. With N > 1, N
+  /// workers explore the tree through per-worker node deques with work
+  /// stealing and a shared incumbent; each worker owns a private LP
+  /// workspace (cloned off one immutable matrix) so child nodes still
+  /// re-solve warm from their parent's basis. Parallel search is exact —
+  /// status and optimal objective match the sequential solver — but when
+  /// several optima tie, or when a budget truncates the search, the
+  /// incumbent *vector* may differ across worker counts and runs.
+  int threads = 1;
+  /// Skip the warm-start fast path when the model's variable count plus
+  /// constraint count is at most this (<= 0 disables the heuristic). Tiny
+  /// models typically solve at the root without branching, where root
+  /// presolve and the persistent revised workspace (CSC build, eta-file
+  /// refactorization state) cost more than warm re-solves can ever recoup;
+  /// below the threshold each node gets a one-shot cold solve with the
+  /// configured simplex algorithm instead. Only applies when the Revised
+  /// algorithm is selected.
+  int cold_solve_threshold = 32;
   /// Wall-clock budget in seconds; <= 0 means unlimited.
   double time_limit_seconds = 30.0;
   /// Integrality tolerance.
@@ -64,6 +86,15 @@ struct MilpSolution {
   long lp_warm_solves = 0;      ///< node re-solves warm-started from a parent basis
   long lp_cold_solves = 0;      ///< from-scratch two-phase solves
   long lp_refactorizations = 0; ///< basis refactorizations in the revised solver
+
+  // Parallel-search work summary (left at defaults when threads == 1).
+  int threads_used = 1;        ///< worker team size the solve actually ran with
+  long steals = 0;             ///< nodes taken from another worker's deque
+  long incumbent_updates = 0;  ///< accepted shared-incumbent improvements
+  /// Offers that reached the incumbent lock but lost to a concurrent update
+  /// (a direct measure of incumbent contention between workers).
+  long incumbent_races = 0;
+  double worker_idle_seconds = 0.0;  ///< summed wall time workers waited for work
 
   static constexpr double kBigBound = 1e100;
 };

@@ -206,5 +206,48 @@ TEST(JobStatusNames, AreStable) {
   EXPECT_EQ(to_string(JobStatus::Cancelled), "cancelled");
 }
 
+TEST(MilpThreadArbitration, SharesTheMachineBetweenJobsAndSolverTeams) {
+  // jobs x milp-threads must never exceed the hardware threads. 0 = auto
+  // takes the per-job share; explicit requests are clamped to it.
+  EXPECT_EQ(arbitrated_milp_threads(0, 1, 8), 8);   // one job: whole machine
+  EXPECT_EQ(arbitrated_milp_threads(0, 2, 8), 4);   // auto per-job share
+  EXPECT_EQ(arbitrated_milp_threads(0, 3, 8), 2);   // floor(8/3)
+  EXPECT_EQ(arbitrated_milp_threads(8, 4, 8), 2);   // explicit, clamped
+  EXPECT_EQ(arbitrated_milp_threads(2, 2, 8), 2);   // explicit, within budget
+  EXPECT_EQ(arbitrated_milp_threads(1, 8, 8), 1);   // sequential stays sequential
+}
+
+TEST(MilpThreadArbitration, DegradesToOneWorkerWhenTheMachineIsCovered) {
+  // The batch pool already saturates (or overshoots) the cores: every
+  // solve degrades to a single sequential worker rather than oversubscribe.
+  EXPECT_EQ(arbitrated_milp_threads(0, 8, 8), 1);
+  EXPECT_EQ(arbitrated_milp_threads(0, 16, 8), 1);
+  EXPECT_EQ(arbitrated_milp_threads(4, 16, 8), 1);
+  EXPECT_EQ(arbitrated_milp_threads(0, 4, 1), 1);  // single-core host
+}
+
+TEST(BatchEngine, ParallelMilpTeamsReproduceTheSequentialObjectives) {
+  // --milp-threads != 1 trades bit-identity for objective-identity: the
+  // incumbent vector may differ when optima tie, but status and objective
+  // must match the sequential engine on the benchmark assays.
+  BatchOptions sequential;
+  BatchEngine one(sequential);
+  const std::vector<BatchResult> baseline = one.run(benchmark_jobs());
+
+  BatchOptions teamed;
+  teamed.milp_threads = 4;
+  BatchEngine four(teamed);
+  const std::vector<BatchResult> wide = four.run(benchmark_jobs());
+
+  ASSERT_EQ(baseline.size(), wide.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].status, wide[i].status) << baseline[i].name;
+    // Not the result text or the execution time: tied optima may trade
+    // schedule time against other objective components.
+    EXPECT_NEAR(baseline[i].summary.objective, wide[i].summary.objective, 1e-6)
+        << baseline[i].name;
+  }
+}
+
 }  // namespace
 }  // namespace cohls::engine

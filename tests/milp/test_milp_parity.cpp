@@ -56,6 +56,9 @@ MilpOptions make_options(lp::SimplexAlgorithm algorithm, bool presolve) {
   MilpOptions options;
   options.simplex.algorithm = algorithm;
   options.presolve = presolve;
+  // The random instances here are tiny; disable the cold-solve fallback so
+  // the Revised configurations genuinely exercise the revised solver.
+  options.cold_solve_threshold = 0;
   return options;
 }
 
@@ -98,7 +101,9 @@ TEST(MilpSolverStats, WarmSolvesDominateOnBranchyInstances) {
     row.emplace_back(m.add_binary(-1.0 - 0.01 * i), 2.0);
   }
   m.add_constraint(std::move(row), lp::RowSense::LessEqual, 7.0);
-  const MilpSolution sol = solve_milp(m);
+  MilpOptions options;
+  options.cold_solve_threshold = 0;  // small on purpose; still wants revised
+  const MilpSolution sol = solve_milp(m, options);
   ASSERT_EQ(sol.status, MilpStatus::Optimal);
   EXPECT_NEAR(sol.objective, -3.0 - 0.01 * (9 + 8 + 7), 1e-6);
   EXPECT_GT(sol.nodes, 1);

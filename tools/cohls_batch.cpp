@@ -3,6 +3,10 @@
 //   cohls_batch <manifest> [options]
 //
 //   --jobs N               worker threads (default 1)
+//   --milp-threads N       workers inside each layer MILP solve; 0 = auto,
+//                          sharing the machine with --jobs so that
+//                          jobs x milp-threads never oversubscribes
+//                          (default 1 = sequential, bit-deterministic)
 //   --max-devices N        |D|, the device budget per assay (default 25)
 //   --threshold N          layer threshold t (default 10)
 //   --transport N          initial transport constant, minutes (default 5)
@@ -19,9 +23,13 @@
 // relative paths resolve against the manifest's directory. Exit status is 0
 // when every job succeeded, 1 when any failed, 2 on usage errors.
 //
-// Results are bit-identical for any --jobs value: the engine replaces
-// wall-clock MILP budgets with node budgets, and the shared layer cache only
-// returns solutions the solver would have produced itself.
+// Results are bit-identical for any --jobs value at the default
+// --milp-threads 1: the engine replaces wall-clock MILP budgets with node
+// budgets, and the shared layer cache only returns solutions the solver
+// would have produced itself. With --milp-threads != 1 the parallel exact
+// search still returns the same objectives, but incumbent ties can resolve
+// differently, so results are objective-identical rather than
+// bit-identical.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -49,7 +57,8 @@ struct CliOptions {
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <manifest> [--jobs N] [--max-devices N] [--threshold N]"
+            << " <manifest> [--jobs N] [--milp-threads N] [--max-devices N]"
+               " [--threshold N]"
                " [--transport N] [--conventional] [--deadline S]"
                " [--cache-capacity N] [--no-cache] [--verify-cache]"
                " [--repeat N] [--save-results DIR] [--metrics-json FILE]\n";
@@ -76,6 +85,8 @@ CliOptions parse_cli(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--jobs") {
       cli.batch.jobs = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--milp-threads") {
+      cli.batch.milp_threads = static_cast<int>(numeric_arg(argc, argv, i));
     } else if (arg == "--max-devices") {
       cli.synthesis.max_devices = static_cast<int>(numeric_arg(argc, argv, i));
     } else if (arg == "--threshold") {

@@ -12,6 +12,9 @@
 //                          extra output sections
 //   --simulate SEED        simulate one cyberphysical run
 //   --deadline S           abort the synthesis after S seconds
+//   --milp-threads N       workers inside each layer MILP solve (default 0 =
+//                          auto: one per hardware thread; 1 = sequential,
+//                          reproducing the library's bit-deterministic path)
 //
 // The assay file uses the format of src/io/assay_text.hpp; see
 // examples/protocols/*.assay for samples.
@@ -28,6 +31,7 @@
 
 #include "baseline/conventional.hpp"
 #include "core/progressive_resynthesis.hpp"
+#include "engine/batch.hpp"
 #include "io/assay_text.hpp"
 #include "io/export.hpp"
 #include "io/result_text.hpp"
@@ -52,6 +56,9 @@ struct CliOptions {
   std::uint64_t simulate_seed = 1;
   std::string save_result_path;
   double deadline_seconds = 0.0;
+  /// MilpOptions::threads for the layer solves; 0 = auto (whole machine —
+  /// cohls_synth runs one job, so its budget share is every hardware thread).
+  int milp_threads = 0;
 };
 
 enum ExitCode : int {
@@ -69,7 +76,7 @@ enum ExitCode : int {
             << " <assay-file> [--max-devices N] [--threshold N] [--transport N]"
                " [--conventional] [--layout] [--no-resynthesis]"
                " [--gantt] [--csv] [--dot] [--placement] [--simulate SEED]"
-               " [--save-result FILE] [--deadline S]\n";
+               " [--save-result FILE] [--deadline S] [--milp-threads N]\n";
   std::exit(kExitUsage);
 }
 
@@ -118,6 +125,8 @@ CliOptions parse_cli(int argc, char** argv) {
         usage(argv[0]);
       }
       cli.deadline_seconds = std::stod(argv[++i]);
+    } else if (arg == "--milp-threads") {
+      cli.milp_threads = static_cast<int>(numeric_arg(argc, argv, i));
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv[0]);
@@ -156,6 +165,9 @@ int main(int argc, char** argv) {
     if (cli.deadline_seconds > 0.0) {
       synthesis.cancel = deadline_source.token_with_deadline(cli.deadline_seconds);
     }
+    // A single-job run's share of the machine is every hardware thread.
+    synthesis.engine.milp.threads =
+        engine::arbitrated_milp_threads(cli.milp_threads, /*jobs=*/1);
 
     const core::SynthesisReport report =
         cli.conventional ? baseline::synthesize_conventional(assay, synthesis)
