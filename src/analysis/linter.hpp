@@ -1,0 +1,115 @@
+// Static assay analysis: a pass manager that lints a parsed-but-unchecked
+// AssaySource against the chip configuration *before* any solver runs, so a
+// malformed or provably infeasible spec is rejected with line-accurate
+// structured diagnostics instead of surfacing as an MILP "infeasible" deep
+// inside the engine.
+//
+// Passes (in run order; see the README rule catalog for every code):
+//   structure     E101 duplicate ids, E102 undefined parent refs,
+//                 E106 non-dense/forward ordering, W104 duplicate parents
+//   cycles        E103 dependency cycles, with the cycle path reported
+//   durations     E105 non-positive (minimum) durations
+//   binding       E104 unbindable operations (container/capacity/accessory
+//                 requirements no device configuration can satisfy), with a
+//                 nearest-device note
+//   threshold     E108 non-positive layer threshold t with indeterminates
+//   accessories   W103 custom accessory registered but never used
+//   layering      W101 over-t indeterminate clusters (dry-run of
+//                 Algorithm 1's dependency phase)
+//   device-demand E107 concurrent indeterminate device demand beyond |D|,
+//                 with a per-capacity-class breakdown
+//   storage       W102 crossing-intermediate storage lower bound beyond |D|
+//
+// The last three require a dependency graph and run best-effort: cycle and
+// undefined-reference edges are dropped from the dry-run graph, and only
+// duplicate-id errors (which make operation identity ambiguous) disable the
+// graph passes entirely.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "diag/diagnostic.hpp"
+#include "io/assay_source.hpp"
+
+namespace cohls::analysis {
+
+/// Chip-configuration facts the lint rules check demand against; mirror the
+/// synthesis options the assay will later be solved under.
+struct AnalysisOptions {
+  /// |D|: maximal number of devices integrated on the chip.
+  int max_devices = 25;
+  /// The layer threshold t of Algorithm 1.
+  int indeterminate_threshold = 10;
+};
+
+struct LintReport {
+  std::vector<diag::Diagnostic> diagnostics;
+
+  [[nodiscard]] bool has_errors() const { return diag::has_errors(diagnostics); }
+  /// True when synthesis may proceed: no errors, and no warnings either when
+  /// `warnings_as_errors` is set.
+  [[nodiscard]] bool clean(bool warnings_as_errors = false) const {
+    return !has_errors() &&
+           (!warnings_as_errors ||
+            diag::count(diagnostics, diag::Severity::Warning) == 0);
+  }
+};
+
+/// Shared state handed to every pass. Graph-derived facts are only
+/// populated when `graph_ok` (no duplicate/undefined/cycle errors).
+struct PassContext {
+  const io::AssaySource& source;
+  const AnalysisOptions& options;
+
+  /// Vector index (into source.operations) of the first definition of each
+  /// id; later duplicates are not entered.
+  std::map<long, std::size_t> index_of;
+
+  bool graph_ok = false;
+  /// Resolved adjacency by vector index (only defined, first-definition
+  /// endpoints; populated when graph_ok).
+  std::vector<std::vector<std::size_t>> parents;
+  std::vector<std::vector<std::size_t>> children;
+  /// Dependency-phase layer of Algorithm 1 (the indeterminate-ancestor
+  /// depth) per operation; populated when graph_ok.
+  std::vector<int> dependency_layer;
+};
+
+struct Pass {
+  std::string name;
+  /// Skipped when the dependency graph has structural errors.
+  bool needs_graph = false;
+  std::function<void(PassContext&, std::vector<diag::Diagnostic>&)> run;
+};
+
+/// Ordered pass pipeline. Custom passes can be appended; the default
+/// pipeline implements the full rule catalog.
+class PassManager {
+ public:
+  void add(Pass pass);
+  [[nodiscard]] const std::vector<Pass>& passes() const { return passes_; }
+
+  /// Runs every pass (skipping needs_graph passes on structurally broken
+  /// inputs) and returns the location-sorted report.
+  [[nodiscard]] LintReport run(const io::AssaySource& source,
+                               const AnalysisOptions& options) const;
+
+  [[nodiscard]] static PassManager default_passes();
+
+ private:
+  std::vector<Pass> passes_;
+};
+
+/// Lints with the default pass pipeline.
+[[nodiscard]] LintReport lint_assay(const io::AssaySource& source,
+                                    const AnalysisOptions& options = {});
+
+/// Convenience: parse + lint. A lexical ParseError becomes a single
+/// COHLS-E100 diagnostic instead of an exception.
+[[nodiscard]] LintReport lint_assay_text(const std::string& text,
+                                         const AnalysisOptions& options = {});
+
+}  // namespace cohls::analysis

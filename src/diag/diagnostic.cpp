@@ -1,0 +1,191 @@
+#include "diag/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cohls::diag {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::Error;
+  });
+}
+
+int count(const std::vector<Diagnostic>& diagnostics, Severity severity) {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+void sort_by_location(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Spanless diagnostics (line 0) sort last.
+                     const int la = a.span.known() ? a.span.line : 1 << 30;
+                     const int lb = b.span.known() ? b.span.line : 1 << 30;
+                     if (la != lb) {
+                       return la < lb;
+                     }
+                     if (a.span.column != b.span.column) {
+                       return a.span.column < b.span.column;
+                     }
+                     if (a.code != b.code) {
+                       return a.code < b.code;
+                     }
+                     return a.message < b.message;
+                   });
+}
+
+std::optional<Format> parse_format(std::string_view name) {
+  if (name == "text") {
+    return Format::Text;
+  }
+  if (name == "json") {
+    return Format::Json;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// "file.assay:12:1: " (or "file.assay:12: " without a column; empty for
+/// spanless diagnostics with no file).
+std::string location_prefix(const Span& span, const std::string& file) {
+  std::ostringstream out;
+  if (!file.empty()) {
+    out << file << ':';
+  }
+  if (span.known()) {
+    out << span.line << ':';
+    if (span.column > 0) {
+      out << span.column << ':';
+    }
+  }
+  std::string prefix = out.str();
+  if (!prefix.empty()) {
+    prefix += ' ';
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& file) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    out << location_prefix(d.span, file)
+        << to_string(d.severity) << ": " << d.message << " [" << d.code << "]\n";
+    for (const Note& note : d.notes) {
+      out << "  note: " << note.message;
+      if (note.span.known()) {
+        out << " (";
+        if (!file.empty()) {
+          out << file << ':';
+        }
+        out << note.span.line << ')';
+      }
+      out << '\n';
+    }
+    if (!d.fixit.empty()) {
+      out << "  fix-it: " << d.fixit << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string json_object(const Diagnostic& diagnostic) {
+  std::ostringstream out;
+  out << "{\"code\": \"" << escape_json(diagnostic.code) << "\", \"severity\": \""
+      << to_string(diagnostic.severity) << "\", \"message\": \""
+      << escape_json(diagnostic.message) << "\", \"line\": " << diagnostic.span.line
+      << ", \"column\": " << diagnostic.span.column;
+  out << ", \"notes\": [";
+  bool first = true;
+  for (const Note& note : diagnostic.notes) {
+    out << (first ? "" : ", ") << "{\"message\": \"" << escape_json(note.message)
+        << "\", \"line\": " << note.span.line << ", \"column\": " << note.span.column
+        << '}';
+    first = false;
+  }
+  out << ']';
+  if (!diagnostic.fixit.empty()) {
+    out << ", \"fixit\": \"" << escape_json(diagnostic.fixit) << '"';
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string render_json(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& file) {
+  std::ostringstream out;
+  out << "{\"file\": \"" << escape_json(file)
+      << "\", \"errors\": " << count(diagnostics, Severity::Error)
+      << ", \"warnings\": " << count(diagnostics, Severity::Warning)
+      << ", \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    out << (first ? "" : ", ") << json_object(d);
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string render(const std::vector<Diagnostic>& diagnostics, Format format,
+                   const std::string& file) {
+  return format == Format::Json ? render_json(diagnostics, file)
+                                : render_text(diagnostics, file);
+}
+
+std::string summary_line(const Diagnostic& diagnostic) {
+  return diagnostic.code + ": " + diagnostic.message;
+}
+
+std::string escape_json(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cohls::diag

@@ -1,0 +1,146 @@
+// Structured diagnostics shared by the pre-solve linter (src/analysis) and
+// the post-solve schedule certifier (schedule::certify_result). One
+// diagnostic carries a stable machine-readable code ("COHLS-E103"), a
+// severity, a human message, an optional source span (line/column into the
+// assay text), attached notes, and an optional fix-it hint. Emitters render
+// a diagnostic list as clang-style text or as a JSON document, so both the
+// CLIs and the batch engine report through one path.
+//
+// Code ranges are stable API — tools and tests match on them, never on
+// message text:
+//   COHLS-E1xx  lint errors (assay/spec-level, pre-solve)
+//   COHLS-W1xx  lint warnings
+//   COHLS-E2xx  certifier errors (schedule-level, post-solve)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cohls::diag {
+
+enum class Severity {
+  Note,
+  Warning,
+  Error,
+};
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// A 1-based source location in the assay text. line 0 means "no source
+/// location" (e.g. certifier diagnostics, which describe a schedule rather
+/// than a file); column 0 means "whole line".
+struct Span {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// Secondary location attached to a diagnostic ("first defined here").
+struct Note {
+  std::string message;
+  Span span{};
+};
+
+struct Diagnostic {
+  /// Stable code, e.g. "COHLS-E103". See the catalog in diag::codes.
+  std::string code;
+  Severity severity = Severity::Error;
+  std::string message;
+  Span span{};
+  std::vector<Note> notes;
+  /// Optional actionable hint ("lower capacity to medium").
+  std::string fixit;
+};
+
+/// The stable code catalog. Every code is documented (severity, meaning,
+/// example) in the README rule catalog; additions append, existing codes
+/// never change meaning.
+namespace codes {
+
+// -- lint errors (E1xx) ------------------------------------------------------
+inline constexpr const char* kParseError = "COHLS-E100";
+inline constexpr const char* kDuplicateOperationId = "COHLS-E101";
+inline constexpr const char* kUndefinedReference = "COHLS-E102";
+inline constexpr const char* kDependencyCycle = "COHLS-E103";
+inline constexpr const char* kUnbindableOperation = "COHLS-E104";
+inline constexpr const char* kNonPositiveDuration = "COHLS-E105";
+inline constexpr const char* kNonDenseIds = "COHLS-E106";
+inline constexpr const char* kDeviceDemandExceedsBudget = "COHLS-E107";
+inline constexpr const char* kNonPositiveThreshold = "COHLS-E108";
+
+// -- lint warnings (W1xx) ----------------------------------------------------
+inline constexpr const char* kOverThresholdCluster = "COHLS-W101";
+inline constexpr const char* kStoragePressure = "COHLS-W102";
+inline constexpr const char* kUnusedAccessory = "COHLS-W103";
+inline constexpr const char* kDuplicateParent = "COHLS-W104";
+
+// -- certifier errors (E2xx) -------------------------------------------------
+inline constexpr const char* kUnknownOperation = "COHLS-E201";
+inline constexpr const char* kDuplicateSchedule = "COHLS-E202";
+inline constexpr const char* kMissingOperation = "COHLS-E203";
+inline constexpr const char* kNegativeStart = "COHLS-E204";
+inline constexpr const char* kWrongDuration = "COHLS-E205";
+inline constexpr const char* kUnknownDevice = "COHLS-E206";
+inline constexpr const char* kIncompatibleBinding = "COHLS-E207";
+inline constexpr const char* kParentLayerOrder = "COHLS-E208";
+inline constexpr const char* kDependencyStart = "COHLS-E209";
+inline constexpr const char* kTransportStart = "COHLS-E210";
+inline constexpr const char* kDeviceOverlap = "COHLS-E211";
+inline constexpr const char* kStartAfterIndeterminate = "COHLS-E212";
+inline constexpr const char* kIndeterminateSameLayerChild = "COHLS-E213";
+inline constexpr const char* kIndeterminateSharedDevice = "COHLS-E214";
+
+}  // namespace codes
+
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diagnostics);
+[[nodiscard]] int count(const std::vector<Diagnostic>& diagnostics, Severity severity);
+
+/// Stable report order: by line, then column, then code, then message.
+/// Diagnostics without a span sort after located ones.
+void sort_by_location(std::vector<Diagnostic>& diagnostics);
+
+enum class Format {
+  Text,
+  Json,
+};
+
+/// Parses "text" / "json"; nullopt on anything else.
+[[nodiscard]] std::optional<Format> parse_format(std::string_view name);
+
+/// Clang-style rendering, one block per diagnostic:
+///   file.assay:12:1: error: dependency cycle: 2 -> 5 -> 2 [COHLS-E103]
+///     note: operation 5 defined here (file.assay:9)
+///     fix-it: break the cycle by removing one of the listed parent edges
+/// `file` prefixes spans when non-empty; spanless diagnostics keep the file
+/// prefix alone ("file.assay: error: ...").
+[[nodiscard]] std::string render_text(const std::vector<Diagnostic>& diagnostics,
+                                      const std::string& file = "");
+
+/// One JSON object per diagnostic (used by render_json and by the batch
+/// engine's per-job diagnostics arrays):
+///   {"code": "COHLS-E103", "severity": "error", "message": "...",
+///    "line": 12, "column": 1, "notes": [...], "fixit": "..."}
+[[nodiscard]] std::string json_object(const Diagnostic& diagnostic);
+
+/// Whole-document JSON rendering:
+///   {"file": "...", "errors": 2, "warnings": 1, "diagnostics": [...]}
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diagnostics,
+                                      const std::string& file = "");
+
+[[nodiscard]] std::string render(const std::vector<Diagnostic>& diagnostics,
+                                 Format format, const std::string& file = "");
+
+/// One-line summary "COHLS-E103: dependency cycle: 2 -> 5 -> 2" for log
+/// lines and BatchResult::detail.
+[[nodiscard]] std::string summary_line(const Diagnostic& diagnostic);
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string escape_json(std::string_view text);
+
+}  // namespace cohls::diag

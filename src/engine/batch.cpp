@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/linter.hpp"
 #include "baseline/conventional.hpp"
 #include "engine/thread_pool.hpp"
 #include "io/assay_text.hpp"
@@ -96,6 +97,8 @@ std::string to_string(JobStatus status) {
       return "ok";
     case JobStatus::ParseError:
       return "parse-error";
+    case JobStatus::LintFailed:
+      return "lint_failed";
     case JobStatus::Infeasible:
       return "infeasible";
     case JobStatus::Invalid:
@@ -135,6 +138,39 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
   row.name = !job.name.empty() ? job.name : job.path;
   try {
     const std::string text = job.text.has_value() ? *job.text : read_file(job.path);
+
+    bool run_solver = true;
+    if (options_.lint || options_.lint_only) {
+      const analysis::AnalysisOptions lint_options{
+          job.options.max_devices, job.options.layering.indeterminate_threshold};
+      analysis::LintReport lint = analysis::lint_assay_text(text, lint_options);
+      const bool passed = lint.clean(options_.warnings_as_errors);
+      row.diagnostics = std::move(lint.diagnostics);
+      metrics_.counter(passed ? "lint_passed" : "lint_failed").increment();
+      if (!passed) {
+        // A lexical failure surfaces as the single COHLS-E100 diagnostic;
+        // keep reporting it under the dedicated ParseError status.
+        row.status = row.diagnostics.front().code == diag::codes::kParseError
+                         ? JobStatus::ParseError
+                         : JobStatus::LintFailed;
+        row.detail = diag::summary_line(row.diagnostics.front());
+        run_solver = false;
+      } else if (options_.lint_only) {
+        row.status = JobStatus::Ok;
+        run_solver = false;
+      }
+    }
+    if (!run_solver) {
+      row.wall_seconds =
+          std::chrono::duration<double>(Clock::now() - begin).count();
+      metrics_.counter("jobs_completed").increment();
+      if (row.status != JobStatus::Ok) {
+        metrics_.counter("jobs_failed").increment();
+      }
+      metrics_.histogram("job_seconds").observe(row.wall_seconds);
+      return row;
+    }
+
     const model::Assay assay = io::assay_from_text(text);
     if (row.name.empty()) {
       row.name = assay.name();
@@ -165,11 +201,13 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
         job.conventional ? baseline::synthesize_conventional(assay, options)
                          : core::synthesize(assay, options);
 
-    const auto violations =
-        schedule::validate_result(report.result, assay, report.transport);
-    row.status = violations.empty() ? JobStatus::Ok : JobStatus::Invalid;
-    if (!violations.empty()) {
-      row.detail = violations.front();
+    const auto certification =
+        schedule::certify_result(report.result, assay, report.transport);
+    row.status = certification.empty() ? JobStatus::Ok : JobStatus::Invalid;
+    if (!certification.empty()) {
+      row.detail = diag::summary_line(certification.front());
+      row.diagnostics.insert(row.diagnostics.end(), certification.begin(),
+                             certification.end());
     }
 
     std::ostringstream time_text;
@@ -293,6 +331,35 @@ std::string BatchEngine::metrics_json() const {
     first = false;
   }
   out << ", \"hit_rate\": " << cache.hit_rate() << "}}";
+  return out.str();
+}
+
+std::string results_json(const std::vector<BatchResult>& rows) {
+  std::ostringstream out;
+  out << "{\"jobs\": [";
+  bool first_row = true;
+  for (const BatchResult& row : rows) {
+    out << (first_row ? "" : ", ") << "{\"name\": \""
+        << diag::escape_json(row.name) << "\", \"status\": \""
+        << to_string(row.status) << "\", \"detail\": \""
+        << diag::escape_json(row.detail) << "\", \"wall_seconds\": "
+        << row.wall_seconds << ", \"summary\": {\"execution_time\": \""
+        << diag::escape_json(row.summary.execution_time)
+        << "\", \"devices\": " << row.summary.devices
+        << ", \"paths\": " << row.summary.paths
+        << ", \"layers\": " << row.summary.layers
+        << ", \"resynthesis_iterations\": " << row.summary.resynthesis_iterations
+        << ", \"objective\": " << row.summary.objective
+        << "}, \"diagnostics\": [";
+    bool first_diag = true;
+    for (const diag::Diagnostic& d : row.diagnostics) {
+      out << (first_diag ? "" : ", ") << diag::json_object(d);
+      first_diag = false;
+    }
+    out << "]}";
+    first_row = false;
+  }
+  out << "]}";
   return out.str();
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/progressive_resynthesis.hpp"
+#include "diag/diagnostic.hpp"
 #include "engine/layer_cache.hpp"
 #include "engine/metrics.hpp"
 #include "engine/thread_pool.hpp"
@@ -37,8 +38,9 @@ struct BatchJob {
 enum class JobStatus {
   Ok,
   ParseError,  ///< the assay text did not parse
+  LintFailed,  ///< the pre-solve linter rejected the assay; no solver ran
   Infeasible,  ///< synthesis proved there is no feasible schedule
-  Invalid,     ///< a result was produced but failed validation
+  Invalid,     ///< a result was produced but failed certification
   Cancelled,   ///< deadline or engine stop fired mid-synthesis
   Error,       ///< any other failure (unreadable file, internal error)
 };
@@ -57,8 +59,11 @@ struct BatchRowSummary {
 struct BatchResult {
   std::string name;
   JobStatus status = JobStatus::Error;
-  /// Failure detail (exception message, validation violation) when not Ok.
+  /// Failure detail (exception message, first diagnostic) when not Ok.
   std::string detail;
+  /// Structured diagnostics for this job: lint findings (including parse
+  /// errors as COHLS-E100) and, on Invalid, the certifier's findings.
+  std::vector<diag::Diagnostic> diagnostics;
   BatchRowSummary summary;
   /// The io::to_text serialization of the result (empty unless Ok/Invalid);
   /// this is the artifact the determinism guarantee is stated over.
@@ -89,6 +94,13 @@ struct BatchOptions {
   /// Debug: verify every cache hit against a fresh solve (see
   /// LayerSolutionCache::set_verify_hits).
   bool verify_cache_hits = false;
+  /// Lint every assay before synthesis; jobs with lint errors report
+  /// JobStatus::LintFailed and never reach the solver.
+  bool lint = true;
+  /// Lint warnings also fail the job (--Werror).
+  bool warnings_as_errors = false;
+  /// Only lint: no job runs the solver; clean jobs report Ok.
+  bool lint_only = false;
 };
 
 /// Resolves a per-solve MILP worker count against the batch job parallelism
@@ -133,6 +145,12 @@ class BatchEngine {
   mutable std::mutex pool_mutex_;
   ThreadPool* active_pool_ = nullptr;
 };
+
+/// Renders batch results as a JSON document: one object per job with name,
+/// status, detail, wall_seconds, the summary block, and a `diagnostics`
+/// array (diag::json_object per entry). This is the machine-readable
+/// counterpart of the cohls_batch table.
+[[nodiscard]] std::string results_json(const std::vector<BatchResult>& rows);
 
 /// Parses a manifest: one assay-file path per line, '#' comments and blank
 /// lines ignored; relative paths resolve against `base_dir`.

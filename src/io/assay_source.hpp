@@ -1,0 +1,77 @@
+// Span-preserving source form of the assay text format. parse_assay_source
+// runs only the *lexical* phase: it records every directive together with
+// its 1-based source line, and keeps parent references as raw ids exactly as
+// written. All semantic checks — duplicate or undefined ids, density,
+// dependency cycles, positive durations, bindability — are deferred to the
+// analysis linter (src/analysis) or to build(). That split is what lets the
+// linter report many structured diagnostics with line-accurate spans where
+// assay_from_text must stop at the first builder precondition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/assay.hpp"
+
+namespace cohls::io {
+
+/// Thrown on malformed input, with the offending line number in the message
+/// (and, when known, in line()).
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  /// 1-based source line of the error; 0 when unknown (document-level).
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_ = 0;
+};
+
+/// A custom accessory directive with its source line.
+struct SourceAccessory {
+  std::string name;
+  double cost = 0.0;
+  int line = 0;
+};
+
+/// One operation directive with its source span.
+struct SourceOperation {
+  long id = -1;
+  /// Spec with `parents` left empty — raw references live in `parents`
+  /// below so undefined/forward/cyclic ids survive parsing for the linter.
+  model::OperationSpec spec;
+  std::vector<long> parents;
+  int line = 0;
+  /// 1-based column of the 'operation' keyword.
+  int column = 0;
+};
+
+/// The parsed-but-unchecked document.
+struct AssaySource {
+  std::string name;
+  int name_line = 0;
+  model::AccessoryRegistry registry;
+  std::vector<SourceAccessory> accessories;  ///< custom kinds, in file order
+  std::vector<SourceOperation> operations;   ///< in file order
+
+  /// Line of the operation defining `id` (first definition wins); 0 when no
+  /// operation defines it.
+  [[nodiscard]] int line_of(long id) const;
+
+  /// Builds the model::Assay, enforcing the builder contract (dense
+  /// ascending ids, parents-first, positive durations). Throws ParseError
+  /// tagged with the offending line on any violation.
+  [[nodiscard]] model::Assay build() const;
+};
+
+/// Lexes the text format. Throws ParseError only on lexical problems
+/// (unknown directive or field, malformed number, unterminated string,
+/// unknown accessory name, missing or duplicate 'assay' header).
+[[nodiscard]] AssaySource parse_assay_source(const std::string& text);
+
+}  // namespace cohls::io

@@ -3,27 +3,26 @@
 //
 //   assay "single-cell RT-qPCR"
 //   accessory "droplet sorter" cost=3.5           # custom kinds only
-//   operation 0 "capture" duration=8 container=ring capacity=medium \
-//       accessories={pump; cell trap} indeterminate
+//   operation 0 "capture" duration=8 container=ring capacity=medium
+//       accessories={pump; cell trap} indeterminate      # one line in files
 //   operation 1 "lysis" duration=10 accessories={heating pad} parents=0
 //
 // Operation ids must be dense and ascending (parents-first, mirroring the
 // Assay builder contract). '#' starts a comment; blank lines are ignored.
+//
+// assay_from_text is the strict one-shot entry point (parse + build, first
+// error throws). For linting with line-accurate spans and multi-error
+// reporting, use io::parse_assay_source (assay_source.hpp) plus
+// analysis::lint_assay.
 #pragma once
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
+#include "io/assay_source.hpp"
 #include "model/assay.hpp"
 
 namespace cohls::io {
-
-/// Thrown on malformed input, with the offending line number in the message.
-class ParseError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Serializes an assay to the text format (stable field order).
 [[nodiscard]] std::string to_text(const model::Assay& assay);

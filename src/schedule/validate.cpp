@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "model/compatibility.hpp"
 
@@ -37,12 +38,15 @@ Minutes occupation_end(const ScheduledOperation& item, const model::Assay& assay
 
 }  // namespace
 
-std::vector<std::string> validate_result(const SynthesisResult& result,
-                                         const model::Assay& assay,
-                                         const TransportPlan& transport) {
-  std::vector<std::string> violations;
-  const auto report = [&violations](const std::string& message) {
-    violations.push_back(message);
+std::vector<diag::Diagnostic> certify_result(const SynthesisResult& result,
+                                             const model::Assay& assay,
+                                             const TransportPlan& transport) {
+  std::vector<diag::Diagnostic> diagnostics;
+  const auto report = [&diagnostics](const char* code, const std::string& message) {
+    diag::Diagnostic d;
+    d.code = code;
+    d.message = message;
+    diagnostics.push_back(std::move(d));
   };
   const auto op_name = [&assay](OperationId id) {
     return "op '" + assay.operation(id).name() + "' (#" + std::to_string(id.value()) + ")";
@@ -53,21 +57,24 @@ std::vector<std::string> validate_result(const SynthesisResult& result,
   for (int li = 0; li < static_cast<int>(result.layers.size()); ++li) {
     for (const ScheduledOperation& item : result.layers[static_cast<std::size_t>(li)].items) {
       if (!item.op.valid() || item.op.value() >= assay.operation_count()) {
-        report("schedule references an operation outside the assay");
+        report(diag::codes::kUnknownOperation,
+               "schedule references an operation outside the assay");
         continue;
       }
       if (!placements.emplace(item.op, Placement{li, &item}).second) {
-        report(op_name(item.op) + " is scheduled more than once");
+        report(diag::codes::kDuplicateSchedule,
+               op_name(item.op) + " is scheduled more than once");
       }
     }
   }
   for (const model::Operation& op : assay.operations()) {
     if (!placements.count(op.id())) {
-      report(op_name(op.id()) + " is missing from the schedule");
+      report(diag::codes::kMissingOperation,
+             op_name(op.id()) + " is missing from the schedule");
     }
   }
-  if (!violations.empty()) {
-    return violations;  // structural problems make later checks meaningless
+  if (!diagnostics.empty()) {
+    return diagnostics;  // structural problems make later checks meaningless
   }
 
   // -- per-item checks: start, duration, binding legality ------------------
@@ -75,22 +82,25 @@ std::vector<std::string> validate_result(const SynthesisResult& result,
     const ScheduledOperation& item = *placement.item;
     const model::Operation& op = assay.operation(id);
     if (item.start < Minutes{0}) {
-      report(op_name(id) + " starts before the layer begins");
+      report(diag::codes::kNegativeStart,
+             op_name(id) + " starts before the layer begins");
     }
     if (item.duration != op.duration()) {
       std::ostringstream msg;
       msg << op_name(id) << " scheduled with duration " << item.duration
           << " but the assay declares " << op.duration();
-      report(msg.str());
+      report(diag::codes::kWrongDuration, msg.str());
     }
     if (!item.device.valid() || item.device.value() >= result.devices.size()) {
-      report(op_name(id) + " is bound to a device missing from the inventory");
+      report(diag::codes::kUnknownDevice,
+             op_name(id) + " is bound to a device missing from the inventory");
       continue;
     }
     const model::Device& device = result.devices.device(item.device);
     if (!model::is_compatible(op, device.config)) {
-      report(op_name(id) + " is bound to an incompatible device #" +
-             std::to_string(item.device.value()));
+      report(diag::codes::kIncompatibleBinding,
+             op_name(id) + " is bound to an incompatible device #" +
+                 std::to_string(item.device.value()));
     }
   }
 
@@ -100,7 +110,8 @@ std::vector<std::string> validate_result(const SynthesisResult& result,
     for (const OperationId parent_id : op.parents()) {
       const Placement parent = placements.at(parent_id);
       if (parent.layer_index > child.layer_index) {
-        report(op_name(op.id()) + " is layered before its parent " + op_name(parent_id));
+        report(diag::codes::kParentLayerOrder,
+               op_name(op.id()) + " is layered before its parent " + op_name(parent_id));
         continue;
       }
       const bool same_device = parent.item->device == child.item->device;
@@ -112,13 +123,13 @@ std::vector<std::string> validate_result(const SynthesisResult& result,
           msg << op_name(op.id()) << " starts at " << child.item->start
               << " before parent " << op_name(parent_id) << " completes at "
               << parent.item->end() << " plus transport " << t;
-          report(msg.str());
+          report(diag::codes::kDependencyStart, msg.str());
         }
       } else if (child.item->start < t) {
         std::ostringstream msg;
         msg << op_name(op.id()) << " starts at " << child.item->start
             << " before its inherited reagent arrives (transport " << t << ")";
-        report(msg.str());
+        report(diag::codes::kTransportStart, msg.str());
       }
     }
   }
@@ -135,8 +146,9 @@ std::vector<std::string> validate_result(const SynthesisResult& result,
         const Minutes end_a = occupation_end(oa, assay, transport, placements);
         const Minutes end_b = occupation_end(ob, assay, transport, placements);
         if (oa.start < end_b && ob.start < end_a) {
-          report(op_name(oa.op) + " and " + op_name(ob.op) +
-                 " overlap on device #" + std::to_string(oa.device.value()));
+          report(diag::codes::kDeviceOverlap,
+                 op_name(oa.op) + " and " + op_name(ob.op) +
+                     " overlap on device #" + std::to_string(oa.device.value()));
         }
       }
     }
@@ -153,29 +165,42 @@ std::vector<std::string> validate_result(const SynthesisResult& result,
     for (const ScheduledOperation* ind : indeterminate) {
       for (const ScheduledOperation& other : layer.items) {
         if (other.start > ind->end()) {
-          report(op_name(other.op) + " starts after indeterminate " + op_name(ind->op) +
-                 " may already have completed (constraint 14)");
+          report(diag::codes::kStartAfterIndeterminate,
+                 op_name(other.op) + " starts after indeterminate " + op_name(ind->op) +
+                     " may already have completed (constraint 14)");
         }
       }
       for (const OperationId child : assay.children(ind->op)) {
         const Placement child_placement = placements.at(child);
         if (&result.layers[static_cast<std::size_t>(child_placement.layer_index)] == &layer) {
-          report("indeterminate " + op_name(ind->op) + " has same-layer child " +
-                 op_name(child));
+          report(diag::codes::kIndeterminateSameLayerChild,
+                 "indeterminate " + op_name(ind->op) + " has same-layer child " +
+                     op_name(child));
         }
       }
     }
     for (std::size_t a = 0; a < indeterminate.size(); ++a) {
       for (std::size_t b = a + 1; b < indeterminate.size(); ++b) {
         if (indeterminate[a]->device == indeterminate[b]->device) {
-          report("indeterminate " + op_name(indeterminate[a]->op) + " and " +
-                 op_name(indeterminate[b]->op) +
-                 " share a device; they must run in parallel");
+          report(diag::codes::kIndeterminateSharedDevice,
+                 "indeterminate " + op_name(indeterminate[a]->op) + " and " +
+                     op_name(indeterminate[b]->op) +
+                     " share a device; they must run in parallel");
         }
       }
     }
   }
 
+  return diagnostics;
+}
+
+std::vector<std::string> validate_result(const SynthesisResult& result,
+                                         const model::Assay& assay,
+                                         const TransportPlan& transport) {
+  std::vector<std::string> violations;
+  for (const diag::Diagnostic& d : certify_result(result, assay, transport)) {
+    violations.push_back(diag::summary_line(d));
+  }
   return violations;
 }
 

@@ -1,0 +1,63 @@
+// Every shipped protocol must lint clean: warnings are acceptable (they
+// describe work the resource phase will do), errors are not.
+#include "analysis/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cohls::analysis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+LintReport lint_protocol(const char* name,
+                         const AnalysisOptions& options = {}) {
+  const std::string path = std::string(COHLS_PROTOCOLS_DIR) + "/" + name;
+  return lint_assay_text(read_file(path), options);
+}
+
+TEST(ProtocolsLint, KinaseActivityIsClean) {
+  const LintReport report = lint_protocol("kinase_activity.assay");
+  EXPECT_TRUE(report.diagnostics.empty())
+      << diag::render_text(report.diagnostics, "kinase_activity.assay");
+}
+
+TEST(ProtocolsLint, GeneExpressionIsClean) {
+  const LintReport report = lint_protocol("gene_expression.assay");
+  EXPECT_TRUE(report.diagnostics.empty())
+      << diag::render_text(report.diagnostics, "gene_expression.assay");
+}
+
+TEST(ProtocolsLint, RtQpcrHasNoErrors) {
+  // 20 captures against the default threshold t = 10: the linter warns that
+  // the resource phase will evict half the cluster, but nothing is an error.
+  const LintReport report = lint_protocol("rt_qpcr.assay");
+  EXPECT_FALSE(report.has_errors())
+      << diag::render_text(report.diagnostics, "rt_qpcr.assay");
+  EXPECT_TRUE(report.clean());
+  bool warned = false;
+  for (const diag::Diagnostic& d : report.diagnostics) {
+    warned |= d.code == diag::codes::kOverThresholdCluster;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(ProtocolsLint, RtQpcrCleanAtGenerousThreshold) {
+  AnalysisOptions options;
+  options.indeterminate_threshold = 20;
+  const LintReport report = lint_protocol("rt_qpcr.assay", options);
+  EXPECT_TRUE(report.diagnostics.empty())
+      << diag::render_text(report.diagnostics, "rt_qpcr.assay");
+}
+
+}  // namespace
+}  // namespace cohls::analysis

@@ -1,0 +1,125 @@
+#include "diag/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohls::diag {
+namespace {
+
+Diagnostic make(const char* code, Severity severity, const std::string& message,
+                Span span = {}) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = message;
+  d.span = span;
+  return d;
+}
+
+TEST(Diagnostic, SeverityNames) {
+  EXPECT_EQ(to_string(Severity::Note), "note");
+  EXPECT_EQ(to_string(Severity::Warning), "warning");
+  EXPECT_EQ(to_string(Severity::Error), "error");
+}
+
+TEST(Diagnostic, SpanKnownOnlyWithPositiveLine) {
+  EXPECT_FALSE(Span{}.known());
+  EXPECT_FALSE((Span{0, 3}).known());
+  EXPECT_TRUE((Span{1, 0}).known());
+}
+
+TEST(Diagnostic, CountsBySeverity) {
+  const std::vector<Diagnostic> diagnostics{
+      make(codes::kDependencyCycle, Severity::Error, "a"),
+      make(codes::kOverThresholdCluster, Severity::Warning, "b"),
+      make(codes::kStoragePressure, Severity::Warning, "c"),
+  };
+  EXPECT_TRUE(has_errors(diagnostics));
+  EXPECT_EQ(count(diagnostics, Severity::Error), 1);
+  EXPECT_EQ(count(diagnostics, Severity::Warning), 2);
+  EXPECT_FALSE(has_errors({diagnostics[1], diagnostics[2]}));
+}
+
+TEST(Diagnostic, SortByLocationPutsSpanlessLast) {
+  std::vector<Diagnostic> diagnostics{
+      make(codes::kDeviceOverlap, Severity::Error, "spanless"),
+      make(codes::kUnbindableOperation, Severity::Error, "late", Span{9, 1}),
+      make(codes::kDependencyCycle, Severity::Error, "early", Span{2, 1}),
+      make(codes::kNonPositiveDuration, Severity::Error, "same line", Span{2, 5}),
+  };
+  sort_by_location(diagnostics);
+  EXPECT_EQ(diagnostics[0].message, "early");
+  EXPECT_EQ(diagnostics[1].message, "same line");
+  EXPECT_EQ(diagnostics[2].message, "late");
+  EXPECT_EQ(diagnostics[3].message, "spanless");
+}
+
+TEST(Diagnostic, ParseFormat) {
+  EXPECT_EQ(parse_format("text"), Format::Text);
+  EXPECT_EQ(parse_format("json"), Format::Json);
+  EXPECT_FALSE(parse_format("yaml").has_value());
+  EXPECT_FALSE(parse_format("").has_value());
+}
+
+TEST(Diagnostic, RenderTextIsClangStyle) {
+  Diagnostic d = make(codes::kDependencyCycle, Severity::Error,
+                      "dependency cycle: 2 -> 5 -> 2", Span{12, 1});
+  d.notes.push_back(Note{"operation 5 defined here", Span{9, 1}});
+  d.fixit = "break the cycle";
+  const std::string text = render_text({d}, "file.assay");
+  EXPECT_NE(text.find("file.assay:12:1: error: dependency cycle: 2 -> 5 -> 2 "
+                      "[COHLS-E103]"),
+            std::string::npos);
+  EXPECT_NE(text.find("note: operation 5 defined here (file.assay:9)"),
+            std::string::npos);
+  EXPECT_NE(text.find("fix-it: break the cycle"), std::string::npos);
+}
+
+TEST(Diagnostic, RenderTextOmitsLocationForSpanless) {
+  const Diagnostic d =
+      make(codes::kDeviceOverlap, Severity::Error, "ops overlap");
+  const std::string text = render_text({d}, "file.assay");
+  EXPECT_EQ(text.rfind("file.assay: error: ops overlap [COHLS-E211]", 0), 0u);
+}
+
+TEST(Diagnostic, RenderJsonCarriesCountsAndCodes) {
+  Diagnostic error = make(codes::kUnbindableOperation, Severity::Error,
+                          "no device", Span{4, 1});
+  error.fixit = "use capacity=medium";
+  const Diagnostic warning =
+      make(codes::kOverThresholdCluster, Severity::Warning, "big cluster", Span{7, 1});
+  const std::string json = render_json({error, warning}, "a.assay");
+  EXPECT_EQ(json.rfind("{\"file\": \"a.assay\", \"errors\": 1, \"warnings\": 1", 0),
+            0u);
+  EXPECT_NE(json.find("\"code\": \"COHLS-E104\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"COHLS-W101\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"fixit\": \"use capacity=medium\""), std::string::npos);
+}
+
+TEST(Diagnostic, JsonObjectEscapesStrings) {
+  const Diagnostic d = make(codes::kParseError, Severity::Error,
+                            "expected '\"' after \\ name\n");
+  const std::string json = json_object(d);
+  EXPECT_NE(json.find("expected '\\\"' after \\\\ name\\n"), std::string::npos);
+}
+
+TEST(Diagnostic, EscapeJsonControlCharacters) {
+  EXPECT_EQ(escape_json("a\tb"), "a\\tb");
+  EXPECT_EQ(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(escape_json(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Diagnostic, SummaryLine) {
+  const Diagnostic d =
+      make(codes::kMissingOperation, Severity::Error, "op #3 is missing");
+  EXPECT_EQ(summary_line(d), "COHLS-E203: op #3 is missing");
+}
+
+TEST(Diagnostic, RenderDispatchesOnFormat) {
+  const Diagnostic d = make(codes::kParseError, Severity::Error, "bad", Span{1, 1});
+  EXPECT_NE(render({d}, Format::Text, "f").find("error: bad"), std::string::npos);
+  EXPECT_EQ(render({d}, Format::Json, "f").front(), '{');
+}
+
+}  // namespace
+}  // namespace cohls::diag

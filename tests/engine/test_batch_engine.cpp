@@ -114,6 +114,87 @@ TEST(BatchEngine, ClassifiesParseErrors) {
   EXPECT_FALSE(rows.front().detail.empty());
 }
 
+TEST(BatchEngine, ClassifiesLintFailures) {
+  BatchEngine engine{BatchOptions{}};
+  BatchJob cyclic;
+  cyclic.name = "cyclic";
+  cyclic.text =
+      "assay \"c\"\n"
+      "operation 0 \"a\" duration=5 parents=1\n"
+      "operation 1 \"b\" duration=5 parents=0\n";
+  const std::vector<BatchResult> rows = engine.run({cyclic});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::LintFailed);
+  EXPECT_TRUE(rows.front().result_text.empty());
+  ASSERT_FALSE(rows.front().diagnostics.empty());
+  EXPECT_EQ(rows.front().diagnostics.front().code, diag::codes::kDependencyCycle);
+  // The detail line leads with the stable code.
+  EXPECT_EQ(rows.front().detail.rfind(diag::codes::kDependencyCycle, 0), 0u);
+  EXPECT_EQ(engine.metrics().counter("lint_failed").value(), 1);
+  EXPECT_EQ(engine.metrics().counter("jobs_failed").value(), 1);
+}
+
+TEST(BatchEngine, LintOnlySkipsTheSolver) {
+  BatchOptions options;
+  options.lint_only = true;
+  BatchEngine engine(options);
+  const std::vector<BatchResult> rows =
+      engine.run({text_job("case1", assays::kinase_activity_assay())});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::Ok);
+  EXPECT_TRUE(rows.front().result_text.empty());
+  EXPECT_EQ(rows.front().summary.devices, 0);
+  EXPECT_EQ(engine.metrics().counter("lint_passed").value(), 1);
+  EXPECT_EQ(engine.metrics().counter("layers_solved").value(), 0);
+}
+
+TEST(BatchEngine, LintDisabledFallsBackToBuildErrors) {
+  BatchOptions options;
+  options.lint = false;
+  BatchEngine engine(options);
+  BatchJob cyclic;
+  cyclic.name = "cyclic";
+  cyclic.text =
+      "assay \"c\"\n"
+      "operation 0 \"a\" duration=5 parents=1\n"
+      "operation 1 \"b\" duration=5 parents=0\n";
+  const std::vector<BatchResult> rows = engine.run({cyclic});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::ParseError);
+  EXPECT_EQ(engine.metrics().counter("lint_failed").value(), 0);
+}
+
+TEST(BatchEngine, WarningsAsErrorsFailTheJobAndShowInJson) {
+  // rt-qPCR's 20-capture cluster warns (W101) at the default threshold; with
+  // --Werror that fails the job before any solving happens.
+  BatchOptions options;
+  options.warnings_as_errors = true;
+  BatchEngine engine(options);
+  const std::vector<BatchResult> rows =
+      engine.run({text_job("case3", assays::rt_qpcr_assay())});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.front().status, JobStatus::LintFailed);
+  ASSERT_FALSE(rows.front().diagnostics.empty());
+  EXPECT_EQ(rows.front().diagnostics.front().code,
+            diag::codes::kOverThresholdCluster);
+  EXPECT_EQ(engine.metrics().counter("layers_solved").value(), 0);
+
+  const std::string json = results_json(rows);
+  EXPECT_NE(json.find("\"status\": \"lint_failed\""), std::string::npos);
+  EXPECT_NE(json.find(diag::codes::kOverThresholdCluster), std::string::npos);
+}
+
+TEST(BatchEngine, ResultsJsonCoversCleanRuns) {
+  BatchEngine engine{BatchOptions{}};
+  const std::vector<BatchResult> rows =
+      engine.run({text_job("case1", assays::kinase_activity_assay())});
+  const std::string json = results_json(rows);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"name\": \"case1\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\": []"), std::string::npos);
+}
+
 TEST(BatchEngine, ClassifiesUnreadableFiles) {
   BatchEngine engine{BatchOptions{}};
   BatchJob missing;
@@ -203,6 +284,7 @@ TEST(JobsFromManifest, ParsesPathsCommentsAndBlanks) {
 TEST(JobStatusNames, AreStable) {
   EXPECT_EQ(to_string(JobStatus::Ok), "ok");
   EXPECT_EQ(to_string(JobStatus::ParseError), "parse-error");
+  EXPECT_EQ(to_string(JobStatus::LintFailed), "lint_failed");
   EXPECT_EQ(to_string(JobStatus::Cancelled), "cancelled");
 }
 

@@ -1,8 +1,11 @@
-// The validator is the executable form of constraints (5)-(14); these tests
-// feed it hand-built valid and deliberately broken schedules.
+// The certifier is the executable form of constraints (5)-(14); these tests
+// feed it hand-built valid and deliberately broken schedules and match on
+// the stable diagnostic codes (never on message text, which may evolve).
 #include "schedule/validate.hpp"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 namespace cohls::schedule {
 namespace {
@@ -10,6 +13,11 @@ namespace {
 using model::BuiltinAccessory;
 using model::Capacity;
 using model::ContainerKind;
+
+bool has_code(const std::vector<diag::Diagnostic>& diagnostics, const char* code) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [code](const diag::Diagnostic& d) { return d.code == code; });
+}
 
 struct Fixture {
   model::Assay assay{"t"};
@@ -51,80 +59,81 @@ struct Fixture {
   }
 };
 
-TEST(Validate, AcceptsAValidSchedule) {
+TEST(Certify, AcceptsAValidSchedule) {
   const Fixture f;
-  EXPECT_TRUE(validate_result(f.result, f.assay, f.transport).empty());
+  EXPECT_TRUE(certify_result(f.result, f.assay, f.transport).empty());
 }
 
-TEST(Validate, DetectsMissingOperation) {
+TEST(Certify, DetectsMissingOperation) {
   Fixture f;
   f.result.layers[0].items.pop_back();
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  ASSERT_FALSE(violations.empty());
-  EXPECT_NE(violations[0].find("missing"), std::string::npos);
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kMissingOperation));
 }
 
-TEST(Validate, DetectsDuplicateOperation) {
+TEST(Certify, DetectsDuplicateOperation) {
   Fixture f;
   f.result.layers[0].items.push_back({f.a, f.d1, 50_min, 10_min, 0_min});
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  ASSERT_FALSE(violations.empty());
-  EXPECT_NE(violations[0].find("more than once"), std::string::npos);
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kDuplicateSchedule));
 }
 
-TEST(Validate, DetectsWrongDuration) {
+TEST(Certify, DetectsOperationOutsideAssay) {
+  Fixture f;
+  f.result.layers[0].items[0].op = OperationId{99};
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kUnknownOperation));
+}
+
+TEST(Certify, DetectsWrongDuration) {
   Fixture f;
   f.result.layers[0].items[0].duration = 99_min;
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  EXPECT_FALSE(violations.empty());
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kWrongDuration));
 }
 
-TEST(Validate, DetectsIncompatibleBinding) {
+TEST(Certify, DetectsIncompatibleBinding) {
   Fixture f;
   // a needs a pump; d1 has none.
   f.result.layers[0].items[0].device = f.d1;
   f.result.layers[0].items[1].device = f.d1;  // keep b with its parent
   f.result.layers[0].items[2].device = f.d0;  // keep ind on its own device
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("incompatible") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kIncompatibleBinding));
 }
 
-TEST(Validate, DetectsDependencyViolationSameDevice) {
+TEST(Certify, DetectsDependencyViolationSameDevice) {
   Fixture f;
   f.result.layers[0].items[1].start = 5_min;  // b starts before a ends
-  EXPECT_FALSE(validate_result(f.result, f.assay, f.transport).empty());
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kDependencyStart));
 }
 
-TEST(Validate, ChargesTransportAcrossDevices) {
+TEST(Certify, ChargesTransportAcrossDevices) {
   Fixture f;
   // Move b to d1 starting right at a's end: misses the 2m transport.
   f.result.layers[0].items[1].device = f.d1;
   f.result.layers[0].items[1].start = 10_min;
   f.result.layers[0].items[2].device = f.d0;  // keep ind separate
   f.result.layers[0].items[2].start = 10_min;
-  EXPECT_FALSE(validate_result(f.result, f.assay, f.transport).empty());
+  EXPECT_TRUE(has_code(certify_result(f.result, f.assay, f.transport),
+                       diag::codes::kDependencyStart));
   // With the transport honored it passes.
   f.result.layers[0].items[1].start = 12_min;
   f.result.layers[0].items[2].start = 12_min;
-  EXPECT_TRUE(validate_result(f.result, f.assay, f.transport).empty());
+  EXPECT_TRUE(certify_result(f.result, f.assay, f.transport).empty());
 }
 
-TEST(Validate, DetectsDeviceConflict) {
+TEST(Certify, DetectsDeviceConflict) {
   Fixture f;
   f.result.layers[0].items[1].start = 9_min;  // overlaps a on d0 AND precedes parent end
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("overlap") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kDeviceOverlap));
 }
 
-TEST(Validate, TransportSlotOccupiesDevice) {
+TEST(Certify, TransportSlotOccupiesDevice) {
   Fixture f;
   // b moves to d1 (a must hold d0 during the 2m outgoing transport);
   // squeeze the indeterminate op onto d0 during that window.
@@ -133,27 +142,19 @@ TEST(Validate, TransportSlotOccupiesDevice) {
   f.result.layers[0].items[2].device = f.d0;
   f.result.layers[0].items[2].start = 10_min;  // inside a's transport slot? a ends 10, transport until 12
   // ind on d0 at [10,18) overlaps a's occupation [0,12) -> conflict.
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("overlap") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kDeviceOverlap));
 }
 
-TEST(Validate, DetectsLateStartAfterIndeterminateEnd) {
+TEST(Certify, DetectsLateStartAfterIndeterminateEnd) {
   Fixture f;
   // b starts after ind's minimum completion (constraint 14).
   f.result.layers[0].items[1].start = 30_min;
-  const auto violations = validate_result(f.result, f.assay, f.transport);
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("constraint 14") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(f.result, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kStartAfterIndeterminate));
 }
 
-TEST(Validate, DetectsParentInLaterLayer) {
+TEST(Certify, DetectsParentInLaterLayer) {
   Fixture f;
   // Split: child b into layer 0, parent a into layer 1.
   SynthesisResult split;
@@ -162,15 +163,11 @@ TEST(Validate, DetectsParentInLaterLayer) {
                           {{f.b, f.d0, 0_min, 5_min, 0_min},
                            {f.ind, f.d1, 0_min, 8_min, 0_min}}});
   split.layers.push_back({LayerId{1}, {{f.a, f.d0, 0_min, 10_min, 0_min}}});
-  const auto violations = validate_result(split, f.assay, f.transport);
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("layered before its parent") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(split, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kParentLayerOrder));
 }
 
-TEST(Validate, CrossLayerChildWaitsForTransport) {
+TEST(Certify, CrossLayerChildWaitsForTransport) {
   Fixture f;
   SynthesisResult split;
   split.devices = f.result.devices;
@@ -179,18 +176,14 @@ TEST(Validate, CrossLayerChildWaitsForTransport) {
                            {f.ind, f.d1, 0_min, 8_min, 0_min}}});
   // b inherits a's output onto a different device but starts at 0.
   split.layers.push_back({LayerId{1}, {{f.b, f.d1, 0_min, 5_min, 0_min}}});
-  const auto violations = validate_result(split, f.assay, f.transport);
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("inherited reagent") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(split, f.assay, f.transport);
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kTransportStart));
   // Waiting out the transport fixes it.
   split.layers[1].items[0].start = 2_min;
-  EXPECT_TRUE(validate_result(split, f.assay, f.transport).empty());
+  EXPECT_TRUE(certify_result(split, f.assay, f.transport).empty());
 }
 
-TEST(Validate, IndeterminateOpsMustNotShareDevices) {
+TEST(Certify, IndeterminateOpsMustNotShareDevices) {
   model::Assay assay{"t"};
   model::OperationSpec s;
   s.name = "i1";
@@ -206,15 +199,11 @@ TEST(Validate, IndeterminateOpsMustNotShareDevices) {
   result.layers.push_back({LayerId{0},
                            {{i1, d, 0_min, 5_min, 0_min},
                             {i2, d, 5_min, 5_min, 0_min}}});
-  const auto violations = validate_result(result, assay, TransportPlan{1_min});
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("share a device") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(result, assay, TransportPlan{1_min});
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kIndeterminateSharedDevice));
 }
 
-TEST(Validate, IndeterminateWithSameLayerChildIsFlagged) {
+TEST(Certify, IndeterminateWithSameLayerChildIsFlagged) {
   model::Assay assay{"t"};
   model::OperationSpec s;
   s.name = "i";
@@ -235,12 +224,17 @@ TEST(Validate, IndeterminateWithSameLayerChildIsFlagged) {
   result.layers.push_back({LayerId{0},
                            {{i, d0, 0_min, 5_min, 0_min},
                             {child, d1, 5_min + 1_min, 5_min, 0_min}}});
-  const auto violations = validate_result(result, assay, TransportPlan{1_min});
-  bool found = false;
-  for (const auto& v : violations) {
-    found = found || v.find("same-layer child") != std::string::npos;
-  }
-  EXPECT_TRUE(found);
+  const auto diagnostics = certify_result(result, assay, TransportPlan{1_min});
+  EXPECT_TRUE(has_code(diagnostics, diag::codes::kIndeterminateSameLayerChild));
+}
+
+TEST(Certify, ValidateResultWrapsDiagnosticsAsSummaryLines) {
+  Fixture f;
+  f.result.layers[0].items.pop_back();
+  const auto violations = validate_result(f.result, f.assay, f.transport);
+  ASSERT_FALSE(violations.empty());
+  // Each line starts with the stable code.
+  EXPECT_EQ(violations[0].rfind(diag::codes::kMissingOperation, 0), 0u);
 }
 
 }  // namespace

@@ -18,6 +18,14 @@
 //   --repeat N             run the whole manifest N times (cache warm-up demo)
 //   --save-results DIR     write each result as DIR/<name>.result
 //   --metrics-json FILE    dump the metrics registry as JSON ("-" = stdout)
+//   --no-lint              skip the pre-solve static linter (on by default;
+//                          jobs with lint errors report lint_failed and
+//                          never reach the solver)
+//   --lint-only            lint every assay and stop; no solver runs
+//   --Werror               lint warnings also fail a job
+//   --diag-format=FMT      "text" (default; table + per-job detail lines) or
+//                          "json" (one document per round, with per-job
+//                          diagnostics arrays, instead of the table)
 //
 // The manifest lists one assay file per line ('#' comments allowed);
 // relative paths resolve against the manifest's directory. Exit status is 0
@@ -37,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diagnostic.hpp"
 #include "engine/batch.hpp"
 #include "util/table.hpp"
 
@@ -53,6 +62,7 @@ struct CliOptions {
   int repeat = 1;
   std::string save_results_dir;
   std::string metrics_json_path;
+  diag::Format diag_format = diag::Format::Text;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -61,7 +71,9 @@ struct CliOptions {
                " [--threshold N]"
                " [--transport N] [--conventional] [--deadline S]"
                " [--cache-capacity N] [--no-cache] [--verify-cache]"
-               " [--repeat N] [--save-results DIR] [--metrics-json FILE]\n";
+               " [--repeat N] [--save-results DIR] [--metrics-json FILE]"
+               " [--no-lint] [--lint-only] [--Werror]"
+               " [--diag-format=text|json]\n";
   std::exit(2);
 }
 
@@ -111,6 +123,25 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.save_results_dir = string_arg(argc, argv, i);
     } else if (arg == "--metrics-json") {
       cli.metrics_json_path = string_arg(argc, argv, i);
+    } else if (arg == "--no-lint") {
+      cli.batch.lint = false;
+    } else if (arg == "--lint-only") {
+      cli.batch.lint_only = true;
+    } else if (arg == "--Werror") {
+      cli.batch.warnings_as_errors = true;
+    } else if (arg == "--diag-format" || arg.rfind("--diag-format=", 0) == 0) {
+      std::string value;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+      } else {
+        value = string_arg(argc, argv, i);
+      }
+      const auto format = diag::parse_format(value);
+      if (!format.has_value()) {
+        std::cerr << "unknown diagnostics format: " << value << "\n";
+        usage(argv[0]);
+      }
+      cli.diag_format = *format;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv[0]);
@@ -169,30 +200,39 @@ int main(int argc, char** argv) {
   for (int round = 0; round < cli.repeat; ++round) {
     const std::vector<engine::BatchResult> rows = batch.run(jobs);
 
-    TextTable table({"assay", "status", "time", "devices", "paths", "layers",
-                     "iters", "objective", "wall s"});
     for (const engine::BatchResult& row : rows) {
       all_ok = all_ok && row.status == engine::JobStatus::Ok;
-      std::ostringstream objective;
-      objective.precision(1);
-      objective << std::fixed << row.summary.objective;
-      table.add_row({row.name, engine::to_string(row.status),
-                     row.summary.execution_time,
-                     std::to_string(row.summary.devices),
-                     std::to_string(row.summary.paths),
-                     std::to_string(row.summary.layers),
-                     std::to_string(row.summary.resynthesis_iterations),
-                     objective.str(), format_seconds(row.wall_seconds)});
-      if (row.status != engine::JobStatus::Ok) {
-        std::cerr << row.name << ": " << engine::to_string(row.status) << ": "
-                  << row.detail << "\n";
-      }
     }
     if (cli.repeat > 1) {
       std::cout << "round " << round + 1 << " of " << cli.repeat << "\n";
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    if (cli.diag_format == diag::Format::Json) {
+      std::cout << engine::results_json(rows) << "\n";
+    } else {
+      TextTable table({"assay", "status", "time", "devices", "paths", "layers",
+                       "iters", "objective", "wall s"});
+      for (const engine::BatchResult& row : rows) {
+        std::ostringstream objective;
+        objective.precision(1);
+        objective << std::fixed << row.summary.objective;
+        table.add_row({row.name, engine::to_string(row.status),
+                       row.summary.execution_time,
+                       std::to_string(row.summary.devices),
+                       std::to_string(row.summary.paths),
+                       std::to_string(row.summary.layers),
+                       std::to_string(row.summary.resynthesis_iterations),
+                       objective.str(), format_seconds(row.wall_seconds)});
+        if (row.status != engine::JobStatus::Ok) {
+          std::cerr << row.name << ": " << engine::to_string(row.status) << ": "
+                    << row.detail << "\n";
+        }
+        if (!row.diagnostics.empty()) {
+          std::cerr << diag::render_text(row.diagnostics, row.name);
+        }
+      }
+      table.print(std::cout);
+      std::cout << "\n";
+    }
 
     if (!cli.save_results_dir.empty() && round == 0) {
       std::filesystem::create_directories(cli.save_results_dir);

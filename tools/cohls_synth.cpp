@@ -15,20 +15,27 @@
 //   --milp-threads N       workers inside each layer MILP solve (default 0 =
 //                          auto: one per hardware thread; 1 = sequential,
 //                          reproducing the library's bit-deterministic path)
+//   --lint                 run the static linter first; lint errors abort
+//                          before any solver runs (exit 7)
+//   --lint-only            lint and exit (0 clean, 7 findings); never solves
+//   --Werror               lint warnings are treated as errors
+//   --diag-format=FMT      diagnostics as clang-style "text" (default) or
+//                          as a "json" document
 //
 // The assay file uses the format of src/io/assay_text.hpp; see
 // examples/protocols/*.assay for samples.
 //
 // Exit codes distinguish failure classes for scripting:
 //   0 success        1 cannot open/write a file   2 usage error
-//   3 parse error    4 result failed validation   5 infeasible
-//   6 cancelled (deadline exceeded)
+//   3 parse error    4 result failed certification   5 infeasible
+//   6 cancelled (deadline exceeded)   7 lint failure
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/linter.hpp"
 #include "baseline/conventional.hpp"
 #include "core/progressive_resynthesis.hpp"
 #include "engine/batch.hpp"
@@ -59,6 +66,10 @@ struct CliOptions {
   /// MilpOptions::threads for the layer solves; 0 = auto (whole machine —
   /// cohls_synth runs one job, so its budget share is every hardware thread).
   int milp_threads = 0;
+  bool lint = false;
+  bool lint_only = false;
+  bool warnings_as_errors = false;
+  diag::Format diag_format = diag::Format::Text;
 };
 
 enum ExitCode : int {
@@ -69,6 +80,7 @@ enum ExitCode : int {
   kExitInvalid = 4,
   kExitInfeasible = 5,
   kExitCancelled = 6,
+  kExitLint = 7,
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -76,7 +88,8 @@ enum ExitCode : int {
             << " <assay-file> [--max-devices N] [--threshold N] [--transport N]"
                " [--conventional] [--layout] [--no-resynthesis]"
                " [--gantt] [--csv] [--dot] [--placement] [--simulate SEED]"
-               " [--save-result FILE] [--deadline S] [--milp-threads N]\n";
+               " [--save-result FILE] [--deadline S] [--milp-threads N]"
+               " [--lint] [--lint-only] [--Werror] [--diag-format=text|json]\n";
   std::exit(kExitUsage);
 }
 
@@ -127,6 +140,27 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.deadline_seconds = std::stod(argv[++i]);
     } else if (arg == "--milp-threads") {
       cli.milp_threads = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--lint") {
+      cli.lint = true;
+    } else if (arg == "--lint-only") {
+      cli.lint_only = true;
+    } else if (arg == "--Werror") {
+      cli.warnings_as_errors = true;
+    } else if (arg == "--diag-format" || arg.rfind("--diag-format=", 0) == 0) {
+      std::string value;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        usage(argv[0]);
+      }
+      const auto format = diag::parse_format(value);
+      if (!format.has_value()) {
+        std::cerr << "unknown diagnostics format: " << value << "\n";
+        usage(argv[0]);
+      }
+      cli.diag_format = *format;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv[0]);
@@ -156,7 +190,28 @@ int main(int argc, char** argv) {
   buffer << file.rdbuf();
 
   try {
-    const model::Assay assay = io::assay_from_text(buffer.str());
+    const io::AssaySource source = io::parse_assay_source(buffer.str());
+    if (cli.lint || cli.lint_only) {
+      const analysis::AnalysisOptions lint_options{
+          cli.synthesis.max_devices,
+          cli.synthesis.layering.indeterminate_threshold};
+      const analysis::LintReport lint = analysis::lint_assay(source, lint_options);
+      if (!lint.diagnostics.empty() || cli.diag_format == diag::Format::Json) {
+        std::cout << diag::render(lint.diagnostics, cli.diag_format,
+                                  cli.assay_path);
+      }
+      if (!lint.clean(cli.warnings_as_errors)) {
+        return kExitLint;
+      }
+      if (cli.lint_only) {
+        if (cli.diag_format == diag::Format::Text) {
+          std::cout << "lint: clean\n";
+        }
+        return kExitOk;
+      }
+    }
+
+    const model::Assay assay = source.build();
     std::cout << "assay: " << assay.name() << " (" << assay.operation_count()
               << " operations, " << assay.indeterminate_count() << " indeterminate)\n";
 
@@ -183,11 +238,11 @@ int main(int argc, char** argv) {
     std::cout << "layers: " << report.result.layers.size() << "\n";
     std::cout << "re-synthesis iterations: " << report.iterations.size() - 1 << "\n";
 
-    const auto violations =
-        schedule::validate_result(report.result, assay, report.transport);
-    std::cout << "valid: " << (violations.empty() ? "yes" : "NO") << "\n";
-    for (const auto& v : violations) {
-      std::cout << "  violation: " << v << "\n";
+    const auto certification =
+        schedule::certify_result(report.result, assay, report.transport);
+    std::cout << "valid: " << (certification.empty() ? "yes" : "NO") << "\n";
+    if (!certification.empty()) {
+      std::cout << diag::render(certification, cli.diag_format, "");
     }
 
     if (cli.gantt) {
@@ -222,8 +277,18 @@ int main(int argc, char** argv) {
                 << "): completed at " << trace.completed_at << " (planned fixed "
                 << trace.planned_fixed << ", overrun " << trace.overrun() << ")\n";
     }
-    return violations.empty() ? kExitOk : kExitInvalid;
+    return certification.empty() ? kExitOk : kExitInvalid;
   } catch (const io::ParseError& e) {
+    if (cli.lint || cli.lint_only) {
+      // Surface lexical failures through the diagnostics pipeline so JSON
+      // consumers always get a document.
+      diag::Diagnostic d;
+      d.code = diag::codes::kParseError;
+      d.message = e.what();
+      d.span = diag::Span{e.line(), 0};
+      std::cout << diag::render({d}, cli.diag_format, cli.assay_path);
+      return kExitLint;
+    }
     std::cerr << "parse error: " << e.what() << "\n";
     return kExitParse;
   } catch (const CancelledError& e) {
