@@ -82,6 +82,11 @@ schedule::SynthesisResult run_pass(const model::Assay& assay, const LayerPlan& p
 
   schedule::SynthesisResult result;
   result.devices = model::DeviceInventory(options.max_devices);
+  // Pre-existing hardware (recovery: the surviving chip). An invalid creation
+  // layer marks the device as a sunk cost no layer pays for.
+  for (const model::DeviceConfig& config : policy.initial_devices) {
+    result.devices.instantiate(config, LayerId{});
+  }
 
   std::map<OperationId, DeviceId> prior_binding;
   std::set<schedule::DevicePath> existing_paths;
@@ -105,6 +110,13 @@ schedule::SynthesisResult run_pass(const model::Assay& assay, const LayerPlan& p
       }
     }
     request.existing_paths = existing_paths;
+    for (const OperationId op : request.ops) {
+      const auto pin = policy.pinned.find(op);
+      if (pin != policy.pinned.end()) {
+        request.pinned.emplace(op, pin->second);
+      }
+    }
+    request.allow_new_devices = policy.allow_new_devices;
     request.binds = policy.binds;
     request.new_config = policy.new_config;
     request.slot_size = policy.slot_size;

@@ -21,7 +21,8 @@ struct KnownDevice {
   int created_in_layer = 0;
 };
 
-/// Customization hooks shared with the conventional baseline.
+/// Customization hooks shared with the conventional baseline and the
+/// degraded-mode recovery re-synthesizer.
 struct PassPolicy {
   /// Binding predicate override (empty = component-oriented rule).
   std::function<bool(const model::Operation&, const model::DeviceConfig&)> binds;
@@ -29,6 +30,18 @@ struct PassPolicy {
   std::function<model::DeviceConfig(const model::Operation&)> new_config;
   /// Fixed-time-slot quantization (0 = continuous start times).
   Minutes slot_size{0};
+  /// Devices already on the chip before the pass (recovery: the surviving
+  /// inventory of a mid-run chip). They are instantiated, in order, into
+  /// every pass's fresh inventory with an invalid creation layer (sunk
+  /// cost, like user-provided hardware); their DeviceIds are their indexes
+  /// here.
+  std::vector<model::DeviceConfig> initial_devices;
+  /// Operations that must bind to a specific initial device (recovery pins
+  /// in-flight operations to the device already running them).
+  std::map<OperationId, DeviceId> pinned;
+  /// When false, no layer may instantiate devices beyond initial_devices —
+  /// a fabricated chip cannot grow at run time.
+  bool allow_new_devices = true;
 };
 
 /// Runs one pass. `known_devices` may be empty (first iteration). In later

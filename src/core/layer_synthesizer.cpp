@@ -75,8 +75,9 @@ bool ilp_applicable(const schedule::LayerRequest& request, const EngineOptions& 
     return false;
   }
   // The ILP expresses the component-oriented binding rule (6)-(8); custom
-  // binding predicates (the conventional baseline) have no ILP form here.
-  return !request.binds && !request.new_config;
+  // binding predicates (the conventional baseline) have no ILP form here,
+  // and neither do recovery pins (forced bindings of in-flight operations).
+  return !request.binds && !request.new_config && request.pinned.empty();
 }
 
 void copy_milp_stats(LayerOutcome& outcome, const milp::MilpSolution& solution) {

@@ -1,0 +1,195 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "model/compatibility.hpp"
+#include "schedule/validate.hpp"
+#include "util/check.hpp"
+
+namespace cohls::core {
+
+namespace {
+
+diag::Diagnostic make_diagnostic(const char* code, std::string message,
+                                 std::string fixit = "") {
+  diag::Diagnostic diagnostic;
+  diagnostic.code = code;
+  diagnostic.severity = diag::Severity::Error;
+  diagnostic.message = std::move(message);
+  diagnostic.fixit = std::move(fixit);
+  return diagnostic;
+}
+
+}  // namespace
+
+ResidualAssay build_residual(const model::Assay& assay,
+                             const schedule::SynthesisResult& original,
+                             const sim::RunTrace& trace) {
+  ResidualAssay residual;
+  residual.assay = model::Assay{assay.name() + " (recovery)", assay.registry()};
+
+  // The surviving chip: every original device except the one that failed.
+  const DeviceId failed =
+      trace.failure && trace.failure->outcome == sim::RunOutcome::DeviceFailed
+          ? trace.failure->device
+          : DeviceId{};
+  for (const model::Device& device : original.devices.devices()) {
+    if (device.id == failed) {
+      continue;
+    }
+    residual.device_map.emplace(
+        device.id, DeviceId{static_cast<std::int32_t>(residual.surviving_devices.size())});
+    residual.surviving_devices.push_back(device.config);
+  }
+
+  const std::set<OperationId> completed(trace.completed.begin(), trace.completed.end());
+  std::map<OperationId, const sim::InFlightOperation*> in_flight;
+  for (const sim::InFlightOperation& item : trace.in_flight) {
+    in_flight.emplace(item.op, &item);
+  }
+
+  // Outstanding operations in ascending original-id order — parents were
+  // added before children in the original, so the same holds here.
+  for (const model::Operation& op : assay.operations()) {
+    if (completed.count(op.id()) > 0) {
+      continue;
+    }
+    model::OperationSpec spec;
+    spec.name = op.name();
+    spec.container = op.container();
+    spec.capacity = op.capacity();
+    spec.accessories = op.accessories();
+    spec.duration = op.duration();
+    spec.indeterminate = op.indeterminate();
+    for (const OperationId parent : op.parents()) {
+      if (completed.count(parent) > 0) {
+        continue;  // the parent's product is already on the chip
+      }
+      spec.parents.push_back(residual.from_original.at(parent));
+    }
+    const auto running = in_flight.find(op.id());
+    if (running != in_flight.end()) {
+      // Elapsed-time credit: only the remaining realized time is re-planned
+      // (for an indeterminate operation this is the remaining minimum — the
+      // cyberphysical check still decides completion).
+      spec.duration = running->second->remaining;
+    }
+    const OperationId residual_id = residual.assay.add_operation(std::move(spec));
+    residual.to_original.emplace(residual_id, op.id());
+    residual.from_original.emplace(op.id(), residual_id);
+    if (running != in_flight.end()) {
+      const auto survivor = residual.device_map.find(running->second->device);
+      COHLS_EXPECT(survivor != residual.device_map.end(),
+                   "in-flight operation bound to a failed device");
+      residual.pinned.emplace(residual_id, survivor->second);
+    }
+  }
+  return residual;
+}
+
+RecoveryOutcome recover(const model::Assay& assay,
+                        const schedule::SynthesisResult& original,
+                        const sim::RunTrace& trace, const SynthesisOptions& options) {
+  RecoveryOutcome outcome;
+  if (!trace.failure.has_value()) {
+    outcome.diagnostics.push_back(make_diagnostic(
+        diag::codes::kRecoveryNoFailure,
+        "run trace reports no failure: there is nothing to recover",
+        "call recover() only when simulate_run returns a broken trace"));
+    return outcome;
+  }
+
+  outcome.residual = build_residual(assay, original, trace);
+  const ResidualAssay& residual = outcome.residual;
+
+  // Pre-flight: on a fabricated chip no new device can appear, so every
+  // outstanding operation must fit some surviving device (E301) and every
+  // pin target must still be able to run its operation (E303).
+  for (const model::Operation& op : residual.assay.operations()) {
+    const OperationId original_id = residual.to_original.at(op.id());
+    const auto pin = residual.pinned.find(op.id());
+    if (pin != residual.pinned.end()) {
+      if (!model::is_compatible(op, residual.surviving_devices[pin->second.index()])) {
+        std::ostringstream message;
+        message << "in-flight operation " << original_id << " (" << op.name()
+                << ") is pinned to surviving device " << pin->second
+                << ", which cannot execute it";
+        outcome.diagnostics.push_back(
+            make_diagnostic(diag::codes::kRecoveryPinViolation, message.str()));
+      }
+      continue;
+    }
+    const bool bindable =
+        std::any_of(residual.surviving_devices.begin(), residual.surviving_devices.end(),
+                    [&op](const model::DeviceConfig& config) {
+                      return model::is_compatible(op, config);
+                    });
+    if (!bindable) {
+      std::ostringstream message;
+      message << "operation " << original_id << " (" << op.name()
+              << ") cannot execute on any surviving device";
+      outcome.diagnostics.push_back(make_diagnostic(
+          diag::codes::kRecoveryUnbindable, message.str(),
+          "the failed device was the only hardware able to run this operation"));
+    }
+  }
+  if (!outcome.diagnostics.empty()) {
+    return outcome;
+  }
+
+  // Re-enter the normal flow on the residual assay, constrained to the
+  // surviving hardware.
+  SynthesisOptions recovery_options = options;
+  recovery_options.max_devices =
+      std::max(1, static_cast<int>(residual.surviving_devices.size()));
+  PassPolicy policy;
+  policy.initial_devices = residual.surviving_devices;
+  policy.pinned = residual.pinned;
+  policy.allow_new_devices = false;
+
+  try {
+    outcome.continuation = synthesize(residual.assay, recovery_options, policy);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const InfeasibleError& error) {
+    outcome.diagnostics.push_back(make_diagnostic(
+        diag::codes::kRecoveryInfeasible,
+        std::string{"no continuation schedule exists on the surviving devices: "} +
+            error.what()));
+    return outcome;
+  }
+
+  // The continuation is only trusted certified: pins honoured, then the
+  // full E2xx certifier.
+  const std::map<OperationId, DeviceId> binding = outcome.continuation.result.binding();
+  for (const auto& [op, device] : residual.pinned) {
+    const auto bound = binding.find(op);
+    if (bound == binding.end() || bound->second != device) {
+      std::ostringstream message;
+      message << "in-flight operation " << residual.to_original.at(op)
+              << " was re-bound away from its pinned device " << device;
+      outcome.diagnostics.push_back(
+          make_diagnostic(diag::codes::kRecoveryPinViolation, message.str()));
+    }
+  }
+  const std::vector<diag::Diagnostic> certification = schedule::certify_result(
+      outcome.continuation.result, residual.assay, outcome.continuation.transport);
+  if (diag::has_errors(certification)) {
+    diag::Diagnostic failure = make_diagnostic(
+        diag::codes::kRecoveryInvalidContinuation,
+        "continuation schedule failed certification (" +
+            std::to_string(diag::count(certification, diag::Severity::Error)) +
+            " errors)");
+    for (const diag::Diagnostic& evidence : certification) {
+      failure.notes.push_back(diag::Note{diag::summary_line(evidence)});
+    }
+    outcome.diagnostics.push_back(std::move(failure));
+  }
+  outcome.recovered = outcome.diagnostics.empty();
+  return outcome;
+}
+
+}  // namespace cohls::core

@@ -1,0 +1,78 @@
+// Degraded-mode recovery re-synthesis. When a cyberphysical run breaks
+// mid-assay (sim::RunTrace with a RunFailure), the chip is already
+// fabricated and partially executed: completed operations hold their
+// products, in-flight operations sit mid-execution on healthy devices, and
+// a failed device (if any) is gone for good. Recovery re-enters the
+// existing layering + progressive re-synthesis flow on the *residual*
+// assay — the outstanding work only — under run-time constraints: no new
+// devices (the chip cannot grow), the failed device struck from the
+// inventory, and in-flight operations pinned to the device already running
+// them with credit for the time they have already spent.
+//
+// The contract is certified-or-diagnosed: recover() either returns a
+// continuation schedule that passes the full E2xx certifier, or a
+// structured COHLS-E3xx diagnostic explaining why the fault cannot be
+// scheduled around. It never fabricates a continuation.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "diag/diagnostic.hpp"
+#include "sim/runtime.hpp"
+
+namespace cohls::core {
+
+/// The outstanding work of a broken run, re-expressed as a standalone assay
+/// with dense operation ids (ascending original order, so parents precede
+/// children by construction).
+struct ResidualAssay {
+  model::Assay assay{"residual"};
+  /// residual id -> original id.
+  std::map<OperationId, OperationId> to_original;
+  /// original id -> residual id (completed originals are absent).
+  std::map<OperationId, OperationId> from_original;
+  /// In-flight residual operations, pinned to the surviving device (by
+  /// *surviving* id) already running them. Their residual duration is the
+  /// realized time still needed — elapsed work is credited, not repeated.
+  std::map<OperationId, DeviceId> pinned;
+  /// The surviving chip: configs in surviving-id order (0, 1, ...).
+  std::vector<model::DeviceConfig> surviving_devices;
+  /// original device id -> surviving device id (failed devices are absent).
+  std::map<DeviceId, DeviceId> device_map;
+};
+
+struct RecoveryOutcome {
+  /// True iff `continuation` exists and passed the certifier.
+  bool recovered = false;
+  /// The certified continuation schedule over the residual assay. Its
+  /// device ids are surviving ids (see ResidualAssay::device_map); layer 0
+  /// resumes exactly at the break point.
+  SynthesisReport continuation;
+  ResidualAssay residual;
+  /// Empty iff recovered. Otherwise COHLS-E3xx (plus any certifier E2xx
+  /// evidence attached under an E302).
+  std::vector<diag::Diagnostic> diagnostics;
+};
+
+/// Builds the residual assay of a broken run: completed operations are
+/// dropped (and their parent edges with them), in-flight operations keep
+/// only their remaining realized duration and a device pin, lost operations
+/// (stranded on the dead device, or exhausted) re-run in full.
+[[nodiscard]] ResidualAssay build_residual(const model::Assay& assay,
+                                           const schedule::SynthesisResult& original,
+                                           const sim::RunTrace& trace);
+
+/// Re-synthesizes the residual assay on the surviving chip. `options` is
+/// the original synthesis configuration; recovery overrides the device
+/// budget (fixed to the surviving inventory) and forbids new devices.
+/// Throws CancelledError when options.cancel fires; every other failure is
+/// reported as a diagnostic, never an exception.
+[[nodiscard]] RecoveryOutcome recover(const model::Assay& assay,
+                                      const schedule::SynthesisResult& original,
+                                      const sim::RunTrace& trace,
+                                      const SynthesisOptions& options = {});
+
+}  // namespace cohls::core

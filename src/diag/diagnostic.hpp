@@ -11,6 +11,7 @@
 //   COHLS-E1xx  lint errors (assay/spec-level, pre-solve)
 //   COHLS-W1xx  lint warnings
 //   COHLS-E2xx  certifier errors (schedule-level, post-solve)
+//   COHLS-E3xx  recovery errors (degraded-chip re-synthesis, at run time)
 #pragma once
 
 #include <optional>
@@ -94,6 +95,16 @@ inline constexpr const char* kDeviceOverlap = "COHLS-E211";
 inline constexpr const char* kStartAfterIndeterminate = "COHLS-E212";
 inline constexpr const char* kIndeterminateSameLayerChild = "COHLS-E213";
 inline constexpr const char* kIndeterminateSharedDevice = "COHLS-E214";
+
+// -- recovery errors (E3xx) --------------------------------------------------
+// Emitted by core::recover when a mid-run fault cannot be scheduled around.
+// A structured E3xx is the contract for "recovery impossible": callers never
+// receive a silently wrong continuation schedule.
+inline constexpr const char* kRecoveryInfeasible = "COHLS-E300";
+inline constexpr const char* kRecoveryUnbindable = "COHLS-E301";
+inline constexpr const char* kRecoveryInvalidContinuation = "COHLS-E302";
+inline constexpr const char* kRecoveryPinViolation = "COHLS-E303";
+inline constexpr const char* kRecoveryNoFailure = "COHLS-E304";
 
 }  // namespace codes
 

@@ -10,11 +10,13 @@
 
 #include "analysis/linter.hpp"
 #include "baseline/conventional.hpp"
+#include "core/recovery.hpp"
 #include "engine/thread_pool.hpp"
 #include "io/assay_text.hpp"
 #include "io/result_text.hpp"
 #include "schedule/objective.hpp"
 #include "schedule/validate.hpp"
+#include "sim/runtime.hpp"
 #include "util/check.hpp"
 
 namespace cohls::engine {
@@ -89,6 +91,15 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// Token-aware retry backoff: never sleeps through a stop request.
+void backoff_sleep(double seconds, const CancellationToken& token) {
+  token.check("retry backoff");
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  token.check("retry backoff");
+}
+
 }  // namespace
 
 std::string to_string(JobStatus status) {
@@ -103,6 +114,8 @@ std::string to_string(JobStatus status) {
       return "infeasible";
     case JobStatus::Invalid:
       return "invalid";
+    case JobStatus::RunFailed:
+      return "run-failed";
     case JobStatus::Cancelled:
       return "cancelled";
     case JobStatus::Error:
@@ -197,9 +210,55 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
       }
     }
 
-    const core::SynthesisReport report =
-        job.conventional ? baseline::synthesize_conventional(assay, options)
-                         : core::synthesize(assay, options);
+    // Resilience ladder. Rung 1: transient-failure retry with exponential
+    // backoff — only the generic Error class re-runs; parse errors, lint
+    // failures, infeasibility and cancellation are deterministic verdicts
+    // and final. Rung 2: the stall watchdog cancels a synthesis that
+    // outlives stall_seconds and re-runs it with the MILP disabled; the
+    // downgrade is flagged on the row, never applied silently.
+    core::SynthesisReport report;
+    int retries_left = std::max(0, options_.max_retries);
+    double backoff = options_.retry_backoff_seconds;
+    for (;;) {
+      try {
+        if (job.conventional) {
+          report = baseline::synthesize_conventional(assay, options);
+        } else if (options_.stall_seconds > 0.0) {
+          core::SynthesisOptions guarded = options;
+          guarded.cancel = token.with_earlier_deadline(options_.stall_seconds);
+          try {
+            report = core::synthesize(assay, guarded);
+          } catch (const CancelledError&) {
+            if (token.cancelled()) {
+              throw;  // the job deadline or stop(), not the watchdog
+            }
+            row.degraded = true;
+            metrics_.counter("fallbacks_taken").increment();
+            core::SynthesisOptions heuristic = options;
+            heuristic.engine.enable_ilp = false;
+            report = core::synthesize(assay, heuristic);
+          }
+        } else {
+          report = core::synthesize(assay, options);
+        }
+        break;
+      } catch (const io::ParseError&) {
+        throw;
+      } catch (const CancelledError&) {
+        throw;
+      } catch (const InfeasibleError&) {
+        throw;
+      } catch (const std::exception&) {
+        if (retries_left == 0) {
+          throw;
+        }
+        --retries_left;
+        ++row.retries;
+        metrics_.counter("job_retries").increment();
+        backoff_sleep(backoff, token);
+        backoff *= 2.0;
+      }
+    }
 
     const auto certification =
         schedule::certify_result(report.result, assay, report.transport);
@@ -222,6 +281,43 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
         schedule::evaluate_objective(report.result, assay, options.costs)
             .weighted_total;
     row.result_text = io::to_text(report.result, assay);
+
+    // Fault injection: replay the certified schedule against the job's
+    // fault plan; on a broken run, attempt degraded-mode recovery. A
+    // recovered fault keeps the job Ok (the continuation is certified); an
+    // unrecoverable one reports RunFailed with the E3xx evidence — never a
+    // fabricated success.
+    if (row.status == JobStatus::Ok && job.fault_plan.has_value()) {
+      sim::RuntimeOptions runtime;
+      runtime.seed = job.simulate_seed;
+      runtime.faults = sim::parse_fault_plan(*job.fault_plan);
+      const sim::RunTrace trace = sim::simulate_run(report.result, assay, runtime);
+      row.run_outcome = std::string(sim::to_string(trace.outcome));
+      if (!trace.ok()) {
+        row.recovery_attempted = true;
+        metrics_.counter("recoveries_attempted").increment();
+        const Clock::time_point recovery_begin = Clock::now();
+        const core::RecoveryOutcome recovery =
+            core::recover(assay, report.result, trace, options);
+        metrics_.histogram("recovery_seconds")
+            .observe(std::chrono::duration<double>(Clock::now() - recovery_begin)
+                         .count());
+        row.recovered = recovery.recovered;
+        if (recovery.recovered) {
+          metrics_.counter("recoveries_succeeded").increment();
+        } else {
+          row.status = JobStatus::RunFailed;
+          row.detail = !recovery.diagnostics.empty()
+                           ? diag::summary_line(recovery.diagnostics.front())
+                           : (trace.failure.has_value()
+                                  ? trace.failure->detail
+                                  : "fault replay broke the run");
+          row.diagnostics.insert(row.diagnostics.end(),
+                                 recovery.diagnostics.begin(),
+                                 recovery.diagnostics.end());
+        }
+      }
+    }
   } catch (const io::ParseError& e) {
     row.status = JobStatus::ParseError;
     row.detail = e.what();
@@ -231,6 +327,9 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
   } catch (const InfeasibleError& e) {
     row.status = JobStatus::Infeasible;
     row.detail = e.what();
+  } catch (const sim::FaultPlanError& e) {
+    row.status = JobStatus::Error;
+    row.detail = std::string{"fault plan: "} + e.what();
   } catch (const std::exception& e) {
     row.status = JobStatus::Error;
     row.detail = e.what();
@@ -350,7 +449,12 @@ std::string results_json(const std::vector<BatchResult>& rows) {
         << ", \"layers\": " << row.summary.layers
         << ", \"resynthesis_iterations\": " << row.summary.resynthesis_iterations
         << ", \"objective\": " << row.summary.objective
-        << "}, \"diagnostics\": [";
+        << "}, \"degraded\": " << (row.degraded ? "true" : "false")
+        << ", \"retries\": " << row.retries << ", \"run_outcome\": \""
+        << diag::escape_json(row.run_outcome) << "\", \"recovery_attempted\": "
+        << (row.recovery_attempted ? "true" : "false")
+        << ", \"recovered\": " << (row.recovered ? "true" : "false")
+        << ", \"diagnostics\": [";
     bool first_diag = true;
     for (const diag::Diagnostic& d : row.diagnostics) {
       out << (first_diag ? "" : ", ") << diag::json_object(d);

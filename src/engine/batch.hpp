@@ -6,6 +6,7 @@
 // the synthesized results are bit-identical for any job count.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -33,6 +34,13 @@ struct BatchJob {
   /// Per-job wall-clock budget in seconds (0 = none). Measured from
   /// submission, so queue wait counts against the job.
   double deadline_seconds = 0.0;
+  /// Fault-plan DSL text (see sim::parse_fault_plan). When set, the
+  /// certified schedule is replayed against the plan and, if the run
+  /// breaks, the recovery re-synthesizer is invoked; an unrecoverable fault
+  /// reports JobStatus::RunFailed.
+  std::optional<std::string> fault_plan;
+  /// Seed of the fault-injection replay (indeterminate attempt sampling).
+  std::uint64_t simulate_seed = 1;
 };
 
 enum class JobStatus {
@@ -41,6 +49,7 @@ enum class JobStatus {
   LintFailed,  ///< the pre-solve linter rejected the assay; no solver ran
   Infeasible,  ///< synthesis proved there is no feasible schedule
   Invalid,     ///< a result was produced but failed certification
+  RunFailed,   ///< the fault-injected replay broke and recovery failed
   Cancelled,   ///< deadline or engine stop fired mid-synthesis
   Error,       ///< any other failure (unreadable file, internal error)
 };
@@ -69,6 +78,19 @@ struct BatchResult {
   /// this is the artifact the determinism guarantee is stated over.
   std::string result_text;
   double wall_seconds = 0.0;
+  /// The stalled MILP was downgraded to the list-scheduling heuristic
+  /// (BatchOptions::stall_seconds). Never silent: reported here and in
+  /// results_json.
+  bool degraded = false;
+  /// Transient-error re-runs this job consumed (BatchOptions::max_retries).
+  int retries = 0;
+  /// Fault-injection replay outcome ("completed" / "attempts-exhausted" /
+  /// "device-failed"); empty when the job carried no fault plan.
+  std::string run_outcome;
+  /// The replay broke and core::recover ran.
+  bool recovery_attempted = false;
+  /// Recovery produced a certified continuation schedule.
+  bool recovered = false;
 };
 
 struct BatchOptions {
@@ -101,6 +123,16 @@ struct BatchOptions {
   bool warnings_as_errors = false;
   /// Only lint: no job runs the solver; clean jobs report Ok.
   bool lint_only = false;
+  /// Transient-failure re-runs per job (JobStatus::Error class only — parse
+  /// errors, lint failures, infeasibility and cancellation are final).
+  int max_retries = 1;
+  /// Sleep before the first re-run; doubles per further re-run.
+  double retry_backoff_seconds = 0.05;
+  /// Watchdog: when a synthesis runs longer than this (seconds), it is
+  /// cancelled and re-run with the MILP disabled (pure list-scheduling
+  /// heuristic). The downgrade is reported as BatchResult::degraded, never
+  /// applied silently. 0 disables the watchdog.
+  double stall_seconds = 0.0;
 };
 
 /// Resolves a per-solve MILP worker count against the batch job parallelism

@@ -64,8 +64,10 @@ std::uint64_t fnv1a(const std::string& text) {
 
 bool cacheable(const core::LayerSolveContext& context) {
   // std::function policies have no canonical form, and a warm start changes
-  // what the MILP returns; both must bypass the cache.
+  // what the MILP returns; both must bypass the cache. Recovery pins force
+  // bindings the signature does not encode, so they bypass it too.
   return !context.request.binds && !context.request.new_config &&
+         context.request.pinned.empty() &&
          !context.engine.milp.warm_start.has_value();
 }
 

@@ -343,6 +343,30 @@ class LayerScheduler {
 
   std::optional<Choice> best_choice(OperationId id, bool exclude_indeterminate_devices) {
     const model::Operation& op = assay_.operation(id);
+    // A pinned operation (recovery: it is physically mid-flight on that
+    // device) considers no alternative binding — the pin overrides scoring
+    // and the indeterminate-device exclusion alike.
+    const auto pin = request_.pinned.find(id);
+    if (pin != request_.pinned.end()) {
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const DeviceState& d = devices_[i];
+        if (d.id != pin->second) {
+          continue;
+        }
+        if (!binds_(op, d.config)) {
+          throw InfeasibleError("operation '" + op.name() +
+                                "' is pinned to a device that cannot execute it");
+        }
+        Choice c;
+        c.fresh = false;
+        c.device_index = i;
+        c.start = earliest_start(id, d.id, d.available);
+        c.score = base_score(id, d.id, d.config, c.start);
+        return c;
+      }
+      throw InfeasibleError("operation '" + op.name() +
+                            "' is pinned to a device this layer cannot use");
+    }
     std::optional<Choice> best;
     const auto offer = [&](const Choice& candidate) {
       if (!best || candidate.score < best->score - 1e-9) {
@@ -506,7 +530,13 @@ class LayerScheduler {
       std::size_t device_index;
     };
     std::vector<Tentative> tentative;
-    for (const OperationId id : ops) {
+    // Pinned operations claim their devices first, so an unpinned
+    // indeterminate operation can never grab a device some pin needs.
+    std::vector<OperationId> ordered = ops;
+    std::stable_partition(ordered.begin(), ordered.end(), [this](OperationId id) {
+      return request_.pinned.count(id) > 0;
+    });
+    for (const OperationId id : ordered) {
       const auto choice = best_choice(id, /*exclude_indeterminate_devices=*/true);
       if (!choice) {
         throw InfeasibleError(

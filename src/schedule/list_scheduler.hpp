@@ -41,6 +41,11 @@ struct LayerRequest {
   std::vector<DeviceHint> hints;
   /// Paths already committed by earlier layers (new ones cost C_p).
   std::set<DevicePath> existing_paths;
+  /// Operations that must execute on a specific usable device (recovery
+  /// re-synthesis pins in-flight operations to the device already running
+  /// them). Pinned devices must appear in `usable_devices`; scheduling a
+  /// pinned operation considers no other binding.
+  std::map<OperationId, DeviceId> pinned;
   /// May the scheduler instantiate new devices?
   bool allow_new_devices = true;
   /// Fixed-time-slot scheduling: when positive, every start time is rounded

@@ -3,24 +3,36 @@
 // time: a capture is checked (e.g. by a fluorescence image [12]) and re-run
 // until it succeeds — [11] reports ~53% single-cell success per attempt.
 // This simulator replays the layered schedule against sampled attempt
-// counts and reports the realized timeline, demonstrating that the
-// pre-generated schedule needs no re-synthesis at run time: only the layer
-// boundaries move.
+// counts — and, optionally, against a deterministic FaultPlan of hardware
+// misbehaviour — and reports the realized timeline. On a happy-path run it
+// demonstrates that the pre-generated schedule needs no re-synthesis: only
+// the layer boundaries move. On a faulted run it reports exactly *where*
+// the plan broke (the failing layer, the failed device, which operations
+// completed and which were in flight), which is the input the recovery
+// re-synthesizer (core/recovery.hpp) needs to build the residual assay.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "model/assay.hpp"
 #include "schedule/types.hpp"
+#include "sim/faults.hpp"
 
 namespace cohls::sim {
 
 struct RuntimeOptions {
   /// Per-attempt success probability of an indeterminate operation.
   double attempt_success_probability = 0.53;
-  /// Hard cap on retries (a real controller would alarm).
+  /// Hard cap on retries. Reaching it does NOT fabricate a success: the run
+  /// breaks with RunOutcome::AttemptsExhausted, exactly as a real
+  /// controller would alarm instead of pretending the capture worked.
   int max_attempts = 1000;
   std::uint64_t seed = 1;
+  /// Deterministic fault script replayed against the schedule (empty =
+  /// happy path).
+  FaultPlan faults;
 };
 
 struct OperationTrace {
@@ -38,6 +50,41 @@ struct LayerTrace {
   std::vector<OperationTrace> operations;
 };
 
+/// How the replay ended.
+enum class RunOutcome {
+  Completed,          ///< every operation finished
+  AttemptsExhausted,  ///< an indeterminate check never passed within the cap
+  DeviceFailed,       ///< a device died with unfinished work bound to it
+};
+
+[[nodiscard]] std::string_view to_string(RunOutcome outcome);
+
+/// Where a broken run broke. `layer` is the layer whose sub-schedule was
+/// active at the break; `at` is the absolute break time on the realized
+/// clock.
+struct RunFailure {
+  RunOutcome outcome = RunOutcome::DeviceFailed;
+  LayerId layer;
+  /// The dead device (DeviceFailed) or invalid.
+  DeviceId device;
+  /// The operation that exhausted its attempts, or the earliest operation
+  /// stranded on the dead device; invalid when the failure stranded no
+  /// started operation.
+  OperationId op;
+  Minutes at{0};
+  std::string detail;
+};
+
+/// An operation that was running when the run broke, on a still-healthy
+/// device. Recovery pins it to its binding and credits the elapsed time.
+struct InFlightOperation {
+  OperationId op;
+  DeviceId device;
+  Minutes started{0};    ///< absolute realized start
+  Minutes elapsed{0};    ///< work already done at the break
+  Minutes remaining{0};  ///< realized time still needed (>= 1)
+};
+
 struct RunTrace {
   std::vector<LayerTrace> layers;
   Minutes completed_at{0};
@@ -45,10 +92,27 @@ struct RunTrace {
   /// `completed_at` is exactly the indeterminate overrun.
   Minutes planned_fixed{0};
 
+  RunOutcome outcome = RunOutcome::Completed;
+  /// Set iff outcome != Completed.
+  std::optional<RunFailure> failure;
+  /// Operations that finished before the run ended (every operation on a
+  /// completed run).
+  std::vector<OperationId> completed;
+  /// Operations running at the break on surviving devices (empty on a
+  /// completed run).
+  std::vector<InFlightOperation> in_flight;
+  /// Operations that had started but whose work is lost: stranded on the
+  /// dead device, or the exhausted operation itself. They must re-run in
+  /// full.
+  std::vector<OperationId> lost;
+
   [[nodiscard]] Minutes overrun() const { return completed_at - planned_fixed; }
+  [[nodiscard]] bool ok() const { return outcome == RunOutcome::Completed; }
 };
 
-/// Replays `result` with sampled indeterminate durations.
+/// Replays `result` with sampled indeterminate durations and the options'
+/// fault plan. Deterministic: identical inputs (schedule, assay, options)
+/// produce bit-identical traces.
 [[nodiscard]] RunTrace simulate_run(const schedule::SynthesisResult& result,
                                     const model::Assay& assay,
                                     const RuntimeOptions& options = {});

@@ -45,6 +45,27 @@ class CancellationToken {
   /// Throws CancelledError("<what> cancelled") when cancelled.
   void check(const std::string& what) const;
 
+  /// A copy of this token whose deadline is additionally capped at
+  /// `seconds_from_now` (<= 0 returns the token unchanged). The stop flag is
+  /// shared; an existing earlier deadline wins. This is how watchdogs wrap a
+  /// budgeted computation without a second flag: the wrapped work observes
+  /// the earlier of the caller's deadline and the watchdog's.
+  [[nodiscard]] CancellationToken with_earlier_deadline(double seconds_from_now) const {
+    if (seconds_from_now <= 0.0) {
+      return *this;
+    }
+    CancellationToken t = *this;
+    const auto candidate =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds_from_now));
+    if (!t.has_deadline_ || candidate < t.deadline_) {
+      t.deadline_ = candidate;
+      t.has_deadline_ = true;
+    }
+    return t;
+  }
+
  private:
   friend class CancellationSource;
 

@@ -1,0 +1,230 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "assays/benchmarks.hpp"
+#include "sim/runtime.hpp"
+
+namespace cohls::core {
+namespace {
+
+struct Fixture {
+  model::Assay assay = assays::gene_expression_assay(3);
+  SynthesisOptions options;
+  SynthesisReport report;
+
+  Fixture() {
+    options.max_devices = 12;
+    options.layering.indeterminate_threshold = 3;
+    report = synthesize(assay, options);
+  }
+
+  /// A broken trace: the device executing the first scheduled operation
+  /// dies at `at` minutes into a deterministic (always-succeeds) replay.
+  [[nodiscard]] sim::RunTrace break_at(Minutes at) const {
+    sim::RuntimeOptions runtime;
+    runtime.attempt_success_probability = 1.0;
+    const DeviceId victim = report.result.layers.front().items.front().device;
+    runtime.faults.events.push_back(
+        sim::FaultEvent{sim::FaultKind::DeviceFailure, victim, OperationId{}, at});
+    return sim::simulate_run(report.result, assay, runtime);
+  }
+};
+
+TEST(BuildResidual, DropsCompletedOpsAndStrikesTheFailedDevice) {
+  const Fixture f;
+  const sim::RunTrace trace = f.break_at(30_min);
+  ASSERT_FALSE(trace.ok());
+  const ResidualAssay residual = build_residual(f.assay, f.report.result, trace);
+
+  EXPECT_EQ(residual.assay.operation_count(),
+            f.assay.operation_count() - static_cast<int>(trace.completed.size()));
+  EXPECT_EQ(static_cast<int>(residual.surviving_devices.size()),
+            f.report.result.devices.size() - 1);
+  EXPECT_EQ(residual.device_map.count(trace.failure->device), 0u);
+
+  // The id maps are inverse bijections and completed originals are absent.
+  for (const auto& [residual_id, original_id] : residual.to_original) {
+    EXPECT_EQ(residual.from_original.at(original_id), residual_id);
+    EXPECT_TRUE(std::none_of(trace.completed.begin(), trace.completed.end(),
+                             [&](OperationId done) { return done == original_id; }));
+  }
+
+  // Parent edges survive the remap exactly when the parent is outstanding.
+  for (const model::Operation& op : residual.assay.operations()) {
+    const model::Operation& original =
+        f.assay.operation(residual.to_original.at(op.id()));
+    std::set<OperationId> expected;
+    for (const OperationId parent : original.parents()) {
+      if (residual.from_original.count(parent) > 0) {
+        expected.insert(residual.from_original.at(parent));
+      }
+    }
+    const std::set<OperationId> actual(op.parents().begin(), op.parents().end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(BuildResidual, PinsInFlightOpsWithElapsedTimeCredit) {
+  const Fixture f;
+  const sim::RunTrace trace = f.break_at(30_min);
+  const ResidualAssay residual = build_residual(f.assay, f.report.result, trace);
+
+  ASSERT_EQ(residual.pinned.size(), trace.in_flight.size());
+  for (const sim::InFlightOperation& running : trace.in_flight) {
+    const OperationId residual_id = residual.from_original.at(running.op);
+    // Only the remaining realized time is re-planned.
+    EXPECT_EQ(residual.assay.operation(residual_id).duration(), running.remaining);
+    // The pin targets the surviving id of the device already running it.
+    EXPECT_EQ(residual.pinned.at(residual_id),
+              residual.device_map.at(running.device));
+  }
+
+  // Lost operations re-run in full.
+  for (const OperationId gone : trace.lost) {
+    const OperationId residual_id = residual.from_original.at(gone);
+    EXPECT_EQ(residual.assay.operation(residual_id).duration(),
+              f.assay.operation(gone).duration());
+  }
+}
+
+TEST(Recover, ProducesACertifiedContinuationHonoringPins) {
+  const Fixture f;
+  const sim::RunTrace trace = f.break_at(30_min);
+  const RecoveryOutcome outcome = recover(f.assay, f.report.result, trace, f.options);
+
+  ASSERT_TRUE(outcome.recovered) << (outcome.diagnostics.empty()
+                                         ? "no diagnostics"
+                                         : outcome.diagnostics.front().message);
+  EXPECT_TRUE(outcome.diagnostics.empty());
+
+  // Every pinned operation stayed on its device; no binding references a
+  // device beyond the surviving inventory.
+  const std::map<OperationId, DeviceId> binding = outcome.continuation.result.binding();
+  for (const auto& [op, device] : outcome.residual.pinned) {
+    EXPECT_EQ(binding.at(op), device);
+  }
+  const int survivors = static_cast<int>(outcome.residual.surviving_devices.size());
+  EXPECT_LE(outcome.continuation.result.devices.size(), survivors);
+  for (const auto& [op, device] : binding) {
+    EXPECT_LT(device.value(), survivors);
+  }
+}
+
+TEST(Recover, IsDeterministic) {
+  const Fixture f;
+  const sim::RunTrace trace = f.break_at(30_min);
+  const RecoveryOutcome a = recover(f.assay, f.report.result, trace, f.options);
+  const RecoveryOutcome b = recover(f.assay, f.report.result, trace, f.options);
+  ASSERT_EQ(a.recovered, b.recovered);
+  ASSERT_TRUE(a.recovered);
+  ASSERT_EQ(a.continuation.result.layers.size(), b.continuation.result.layers.size());
+  for (std::size_t li = 0; li < a.continuation.result.layers.size(); ++li) {
+    const auto& la = a.continuation.result.layers[li].items;
+    const auto& lb = b.continuation.result.layers[li].items;
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t k = 0; k < la.size(); ++k) {
+      EXPECT_EQ(la[k].op, lb[k].op);
+      EXPECT_EQ(la[k].device, lb[k].device);
+      EXPECT_EQ(la[k].start, lb[k].start);
+      EXPECT_EQ(la[k].duration, lb[k].duration);
+    }
+  }
+}
+
+TEST(Recover, UnbrokenTraceReportsE304) {
+  const Fixture f;
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  const sim::RunTrace trace = sim::simulate_run(f.report.result, f.assay, runtime);
+  ASSERT_TRUE(trace.ok());
+  const RecoveryOutcome outcome = recover(f.assay, f.report.result, trace, f.options);
+  EXPECT_FALSE(outcome.recovered);
+  ASSERT_EQ(outcome.diagnostics.size(), 1u);
+  EXPECT_EQ(outcome.diagnostics.front().code, diag::codes::kRecoveryNoFailure);
+}
+
+TEST(Recover, UniqueCapableDeviceLostReportsE301) {
+  // Two large-ring operations in sequence plus an independent chamber
+  // chain: the synthesizer needs one large ring (both A-ops share it) and a
+  // chamber. Killing the ring mid-A1 leaves A2 outstanding with no
+  // surviving hardware able to run it.
+  model::Assay assay{"unique-device"};
+  model::OperationSpec a1;
+  a1.name = "A1";
+  a1.container = model::ContainerKind::Ring;
+  a1.capacity = model::Capacity::Large;
+  a1.duration = 20_min;
+  const OperationId a1_id = assay.add_operation(a1);
+  model::OperationSpec a2 = a1;
+  a2.name = "A2";
+  a2.parents = {a1_id};
+  (void)assay.add_operation(a2);
+  model::OperationSpec b;
+  b.name = "B";
+  b.container = model::ContainerKind::Chamber;
+  b.capacity = model::Capacity::Tiny;
+  b.duration = 50_min;
+  (void)assay.add_operation(b);
+
+  SynthesisOptions options;
+  options.max_devices = 4;
+  const SynthesisReport report = synthesize(assay, options);
+
+  const std::map<OperationId, DeviceId> binding = report.result.binding();
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  runtime.faults.events.push_back(sim::FaultEvent{
+      sim::FaultKind::DeviceFailure, binding.at(a1_id), OperationId{}, 5_min});
+  const sim::RunTrace trace = sim::simulate_run(report.result, assay, runtime);
+  ASSERT_EQ(trace.outcome, sim::RunOutcome::DeviceFailed);
+
+  const RecoveryOutcome outcome = recover(assay, report.result, trace, options);
+  EXPECT_FALSE(outcome.recovered);
+  ASSERT_FALSE(outcome.diagnostics.empty());
+  for (const diag::Diagnostic& d : outcome.diagnostics) {
+    EXPECT_EQ(d.code, diag::codes::kRecoveryUnbindable);
+  }
+}
+
+TEST(Recover, MoreIndeterminateOpsThanSurvivorsReportsE300) {
+  // Three identical parentless indeterminate captures must occupy pairwise
+  // distinct devices (E214), so the original chip carries three. After one
+  // dies, the residual still holds three indeterminate operations — two
+  // pinned in flight plus the lost one — but only two devices survive and
+  // the chip cannot grow: recovery is infeasible.
+  model::Assay assay{"three-captures"};
+  for (int k = 0; k < 3; ++k) {
+    model::OperationSpec spec;
+    spec.name = "capture-" + std::to_string(k);
+    spec.container = model::ContainerKind::Chamber;
+    spec.capacity = model::Capacity::Tiny;
+    spec.duration = 10_min;
+    spec.indeterminate = true;
+    (void)assay.add_operation(spec);
+  }
+  SynthesisOptions options;
+  options.max_devices = 4;
+  const SynthesisReport report = synthesize(assay, options);
+  ASSERT_EQ(report.result.devices.size(), 3);
+
+  const std::map<OperationId, DeviceId> binding = report.result.binding();
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  runtime.faults.events.push_back(sim::FaultEvent{
+      sim::FaultKind::DeviceFailure, binding.at(OperationId{0}), OperationId{}, 5_min});
+  const sim::RunTrace trace = sim::simulate_run(report.result, assay, runtime);
+  ASSERT_EQ(trace.outcome, sim::RunOutcome::DeviceFailed);
+  ASSERT_EQ(trace.in_flight.size(), 2u);
+
+  const RecoveryOutcome outcome = recover(assay, report.result, trace, options);
+  EXPECT_FALSE(outcome.recovered);
+  ASSERT_FALSE(outcome.diagnostics.empty());
+  EXPECT_EQ(outcome.diagnostics.front().code, diag::codes::kRecoveryInfeasible);
+}
+
+}  // namespace
+}  // namespace cohls::core

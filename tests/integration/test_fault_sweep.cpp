@@ -1,0 +1,186 @@
+// Randomized fault sweep: for every shipped benchmark protocol (at small
+// replication), kill each device at each layer boundary under several seeds
+// and demand that every broken run either recovers to a certified
+// continuation or fails with structured COHLS-E3xx diagnostics — never an
+// uncertified schedule, never a silent wrong answer. The sweep is
+// deterministic per seed, so any failure here is reproducible.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assays/benchmarks.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "core/recovery.hpp"
+#include "sim/faults.hpp"
+#include "sim/runtime.hpp"
+
+namespace cohls {
+namespace {
+
+struct Protocol {
+  std::string name;
+  model::Assay assay;
+};
+
+std::vector<Protocol> protocols() {
+  std::vector<Protocol> list;
+  list.push_back({"kinase-activity", assays::kinase_activity_assay(2)});
+  list.push_back({"gene-expression", assays::gene_expression_assay(3)});
+  list.push_back({"rt-qpcr", assays::rt_qpcr_assay(3)});
+  return list;
+}
+
+core::SynthesisOptions sweep_options() {
+  core::SynthesisOptions options;
+  options.max_devices = 12;
+  options.layering.indeterminate_threshold = 3;
+  return options;
+}
+
+bool all_e3xx(const std::vector<diag::Diagnostic>& diagnostics) {
+  for (const diag::Diagnostic& d : diagnostics) {
+    if (d.code.rfind("COHLS-E3", 0) != 0) {
+      return false;
+    }
+  }
+  return !diagnostics.empty();
+}
+
+/// One sweep cell: replay the schedule with `victim` failing at `when`
+/// under `seed`; if the run breaks, recover and enforce the acceptance
+/// criterion (certified continuation, or structured E3xx evidence).
+/// Returns whether the run broke, so callers can count coverage.
+bool sweep_cell(const Protocol& protocol, const core::SynthesisReport& report,
+                const core::SynthesisOptions& options, DeviceId victim,
+                Minutes when, std::uint64_t seed) {
+  sim::RuntimeOptions runtime;
+  runtime.seed = seed;
+  runtime.faults.events.push_back(
+      sim::FaultEvent{sim::FaultKind::DeviceFailure, victim, OperationId{}, when});
+  const sim::RunTrace trace =
+      sim::simulate_run(report.result, protocol.assay, runtime);
+  if (trace.ok()) {
+    return false;
+  }
+
+  const core::RecoveryOutcome outcome =
+      core::recover(protocol.assay, report.result, trace, options);
+  if (outcome.recovered) {
+    EXPECT_TRUE(outcome.diagnostics.empty())
+        << protocol.name << ": recovered continuation still carries "
+        << outcome.diagnostics.front().code;
+  } else {
+    EXPECT_TRUE(all_e3xx(outcome.diagnostics))
+        << protocol.name << ": unrecovered fault (device "
+        << victim.value() << " at " << when << ", seed " << seed
+        << ") lacks structured E3xx evidence";
+  }
+  return true;
+}
+
+TEST(FaultSweep, EveryDeviceAtEveryLayerBoundaryRecoversOrReportsE3xx) {
+  const core::SynthesisOptions options = sweep_options();
+  int broken = 0;
+  for (const Protocol& protocol : protocols()) {
+    const core::SynthesisReport report = core::synthesize(protocol.assay, options);
+    ASSERT_FALSE(report.result.layers.empty()) << protocol.name;
+
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      // Layer boundaries are seed-dependent (indeterminate retries stretch
+      // layers), so read them off this seed's healthy replay.
+      sim::RuntimeOptions healthy;
+      healthy.seed = seed;
+      const sim::RunTrace base =
+          sim::simulate_run(report.result, protocol.assay, healthy);
+      ASSERT_TRUE(base.ok()) << protocol.name << " seed " << seed;
+      std::set<Minutes> boundaries;
+      for (const sim::LayerTrace& layer : base.layers) {
+        boundaries.insert(layer.start);
+      }
+
+      for (const model::Device& device : report.result.devices.devices()) {
+        for (const Minutes when : boundaries) {
+          if (sweep_cell(protocol, report, options, device.id, when, seed)) {
+            ++broken;
+          }
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise the recovery path: a boundary failure
+  // of a busy device breaks the run in the vast majority of cells.
+  EXPECT_GT(broken, 10);
+}
+
+TEST(FaultSweep, SweepIsDeterministicPerSeed) {
+  const core::SynthesisOptions options = sweep_options();
+  const Protocol protocol{"gene-expression", assays::gene_expression_assay(3)};
+  const core::SynthesisReport report = core::synthesize(protocol.assay, options);
+  const DeviceId victim = report.result.layers.front().items.front().device;
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    sim::RuntimeOptions runtime;
+    runtime.seed = seed;
+    runtime.faults.events.push_back(
+        sim::FaultEvent{sim::FaultKind::DeviceFailure, victim, OperationId{}, 0_min});
+    const sim::RunTrace a = sim::simulate_run(report.result, protocol.assay, runtime);
+    const sim::RunTrace b = sim::simulate_run(report.result, protocol.assay, runtime);
+    ASSERT_EQ(a.outcome, b.outcome) << "seed " << seed;
+    ASSERT_FALSE(a.ok());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.lost, b.lost);
+
+    const core::RecoveryOutcome ra = core::recover(protocol.assay, report.result, a, options);
+    const core::RecoveryOutcome rb = core::recover(protocol.assay, report.result, b, options);
+    ASSERT_EQ(ra.recovered, rb.recovered) << "seed " << seed;
+    ASSERT_EQ(ra.diagnostics.size(), rb.diagnostics.size());
+    for (std::size_t i = 0; i < ra.diagnostics.size(); ++i) {
+      EXPECT_EQ(ra.diagnostics[i].code, rb.diagnostics[i].code);
+    }
+    if (ra.recovered) {
+      ASSERT_EQ(ra.continuation.result.layers.size(),
+                rb.continuation.result.layers.size());
+      for (std::size_t li = 0; li < ra.continuation.result.layers.size(); ++li) {
+        const auto& la = ra.continuation.result.layers[li].items;
+        const auto& lb = rb.continuation.result.layers[li].items;
+        ASSERT_EQ(la.size(), lb.size());
+        for (std::size_t k = 0; k < la.size(); ++k) {
+          EXPECT_EQ(la[k].op, lb[k].op);
+          EXPECT_EQ(la[k].device, lb[k].device);
+          EXPECT_EQ(la[k].start, lb[k].start);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultSweep, ExhaustionAtEachIndeterminateOpRecoversOrReportsE3xx) {
+  // The other break class: a scripted attempt exhaustion at every
+  // indeterminate operation of the gene-expression protocol.
+  const core::SynthesisOptions options = sweep_options();
+  const Protocol protocol{"gene-expression", assays::gene_expression_assay(3)};
+  const core::SynthesisReport report = core::synthesize(protocol.assay, options);
+
+  for (const OperationId op : protocol.assay.indeterminate_operations()) {
+    sim::RuntimeOptions runtime;
+    runtime.attempt_success_probability = 1.0;  // only the script fails
+    sim::FaultEvent exhaust;
+    exhaust.kind = sim::FaultKind::AttemptExhaustion;
+    exhaust.op = op;
+    runtime.faults.events.push_back(exhaust);
+    const sim::RunTrace trace =
+        sim::simulate_run(report.result, protocol.assay, runtime);
+    ASSERT_EQ(trace.outcome, sim::RunOutcome::AttemptsExhausted);
+
+    const core::RecoveryOutcome outcome =
+        core::recover(protocol.assay, report.result, trace, options);
+    if (!outcome.recovered) {
+      EXPECT_TRUE(all_e3xx(outcome.diagnostics)) << "op " << op.value();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cohls

@@ -83,16 +83,27 @@ TEST(Runtime, LayersExecuteBackToBack) {
   EXPECT_EQ(trace.completed_at, expected_start);
 }
 
-TEST(Runtime, MaxAttemptsBoundsTheOverrun) {
+TEST(Runtime, ExhaustedAttemptsBreakTheRunInsteadOfFakingSuccess) {
   const Fixture f;
   RuntimeOptions options;
   options.attempt_success_probability = 1e-9;  // effectively never succeeds
   options.max_attempts = 3;
   const RunTrace trace = simulate_run(f.report.result, f.assay, options);
+  // The cap bounds the retries, and hitting it is a reported failure —
+  // never a fabricated completion.
+  EXPECT_FALSE(trace.ok());
+  EXPECT_EQ(trace.outcome, RunOutcome::AttemptsExhausted);
+  ASSERT_TRUE(trace.failure.has_value());
+  EXPECT_TRUE(f.assay.operation(trace.failure->op).indeterminate());
+  EXPECT_FALSE(trace.failure->detail.empty());
   for (const LayerTrace& layer : trace.layers) {
     for (const OperationTrace& op : layer.operations) {
       EXPECT_LE(op.attempts, 3);
     }
+  }
+  // The exhausted operation's work is void, not completed.
+  for (const OperationId op : trace.completed) {
+    EXPECT_NE(op, trace.failure->op);
   }
 }
 

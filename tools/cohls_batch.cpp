@@ -16,7 +16,16 @@
 //   --no-cache             disable the layer-solution cache
 //   --verify-cache         check every cache hit against a fresh solve
 //   --repeat N             run the whole manifest N times (cache warm-up demo)
+//   --retries N            transient-failure re-runs per job (default 1)
+//   --stall S              watchdog: downgrade a synthesis stalled past S
+//                          seconds to the heuristic (flagged "degraded")
+//   --inject-faults FILE   replay every certified schedule against this
+//                          fault plan; broken runs go through degraded-mode
+//                          recovery and report run-failed when unrecoverable
+//   --simulate-seed N      seed of the fault-injection replay (default 1)
 //   --save-results DIR     write each result as DIR/<name>.result
+//   --results-json FILE    write the per-job results document (same content
+//                          as --diag-format=json) to FILE
 //   --metrics-json FILE    dump the metrics registry as JSON ("-" = stdout)
 //   --no-lint              skip the pre-solve static linter (on by default;
 //                          jobs with lint errors report lint_failed and
@@ -29,7 +38,15 @@
 //
 // The manifest lists one assay file per line ('#' comments allowed);
 // relative paths resolve against the manifest's directory. Exit status is 0
-// when every job succeeded, 1 when any failed, 2 on usage errors.
+// when every job succeeded, 1 when any failed, 2 on usage errors, 130 on
+// SIGINT.
+//
+// All file outputs (--save-results, --results-json, --metrics-json) are
+// written atomically: content goes to a temp file that is renamed into
+// place, so a crash or interrupt never leaves a half-written artifact. On
+// SIGINT the engine stops, the completed rows are flushed as a parsable
+// results document (interrupted jobs report "cancelled"), and the exit
+// status is 130.
 //
 // Results are bit-identical for any --jobs value at the default
 // --milp-threads 1: the engine replaces wall-clock MILP budgets with node
@@ -38,11 +55,15 @@
 // search still returns the same objectives, but incumbent ties can resolve
 // differently, so results are objective-identical rather than
 // bit-identical.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "diag/diagnostic.hpp"
@@ -61,9 +82,18 @@ struct CliOptions {
   double deadline_seconds = 0.0;
   int repeat = 1;
   std::string save_results_dir;
+  std::string results_json_path;
   std::string metrics_json_path;
+  std::string fault_plan_path;
+  std::uint64_t simulate_seed = 1;
   diag::Format diag_format = diag::Format::Text;
 };
+
+/// Set by the SIGINT handler; everything non-signal-safe (engine.stop(),
+/// flushing results) happens on ordinary threads that poll this flag.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_sigint(int) { g_interrupted = 1; }
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -71,8 +101,9 @@ struct CliOptions {
                " [--threshold N]"
                " [--transport N] [--conventional] [--deadline S]"
                " [--cache-capacity N] [--no-cache] [--verify-cache]"
-               " [--repeat N] [--save-results DIR] [--metrics-json FILE]"
-               " [--no-lint] [--lint-only] [--Werror]"
+               " [--repeat N] [--retries N] [--stall S] [--inject-faults FILE]"
+               " [--simulate-seed N] [--save-results DIR] [--results-json FILE]"
+               " [--metrics-json FILE] [--no-lint] [--lint-only] [--Werror]"
                " [--diag-format=text|json]\n";
   std::exit(2);
 }
@@ -119,8 +150,18 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.batch.verify_cache_hits = true;
     } else if (arg == "--repeat") {
       cli.repeat = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--retries") {
+      cli.batch.max_retries = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--stall") {
+      cli.batch.stall_seconds = std::stod(string_arg(argc, argv, i));
+    } else if (arg == "--inject-faults") {
+      cli.fault_plan_path = string_arg(argc, argv, i);
+    } else if (arg == "--simulate-seed") {
+      cli.simulate_seed = static_cast<std::uint64_t>(numeric_arg(argc, argv, i));
     } else if (arg == "--save-results") {
       cli.save_results_dir = string_arg(argc, argv, i);
+    } else if (arg == "--results-json") {
+      cli.results_json_path = string_arg(argc, argv, i);
     } else if (arg == "--metrics-json") {
       cli.metrics_json_path = string_arg(argc, argv, i);
     } else if (arg == "--no-lint") {
@@ -169,6 +210,30 @@ std::string result_file_stem(const std::string& name) {
   return std::filesystem::path(name).stem().string();
 }
 
+/// Crash-safe file write: content lands in a sibling temp file that is
+/// renamed into place. Readers never observe a half-written artifact.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,11 +249,25 @@ int main(int argc, char** argv) {
   const std::string base_dir =
       std::filesystem::path(cli.manifest_path).parent_path().string();
 
+  std::optional<std::string> fault_plan;
+  if (!cli.fault_plan_path.empty()) {
+    std::ifstream plan_file(cli.fault_plan_path);
+    if (!plan_file) {
+      std::cerr << "cannot open " << cli.fault_plan_path << "\n";
+      return 1;
+    }
+    std::ostringstream plan_buffer;
+    plan_buffer << plan_file.rdbuf();
+    fault_plan = plan_buffer.str();
+  }
+
   std::vector<engine::BatchJob> jobs =
       engine::jobs_from_manifest(buffer.str(), base_dir, cli.synthesis);
   for (engine::BatchJob& job : jobs) {
     job.conventional = cli.conventional;
     job.deadline_seconds = cli.deadline_seconds;
+    job.fault_plan = fault_plan;
+    job.simulate_seed = cli.simulate_seed;
   }
   if (jobs.empty()) {
     std::cerr << "manifest is empty: " << cli.manifest_path << "\n";
@@ -196,8 +275,28 @@ int main(int argc, char** argv) {
   }
 
   engine::BatchEngine batch(cli.batch);
+
+  // SIGINT: the handler only flips a flag; this watcher does the actual
+  // (non-signal-safe) engine stop. In-flight jobs come back "cancelled",
+  // the rows already computed are flushed below, and we exit 130.
+  std::signal(SIGINT, handle_sigint);
+  std::atomic<bool> watcher_done{false};
+  std::thread watcher([&batch, &watcher_done] {
+    while (!watcher_done.load(std::memory_order_relaxed)) {
+      if (g_interrupted != 0) {
+        batch.stop();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  const auto stop_watcher = [&watcher_done, &watcher] {
+    watcher_done.store(true, std::memory_order_relaxed);
+    watcher.join();
+  };
+
   bool all_ok = true;
-  for (int round = 0; round < cli.repeat; ++round) {
+  for (int round = 0; round < cli.repeat && g_interrupted == 0; ++round) {
     const std::vector<engine::BatchResult> rows = batch.run(jobs);
 
     for (const engine::BatchResult& row : rows) {
@@ -226,12 +325,35 @@ int main(int argc, char** argv) {
           std::cerr << row.name << ": " << engine::to_string(row.status) << ": "
                     << row.detail << "\n";
         }
+        if (row.degraded) {
+          std::cerr << row.name
+                    << ": degraded: stalled synthesis fell back to the"
+                       " list-scheduling heuristic\n";
+        }
+        if (row.recovery_attempted) {
+          std::cerr << row.name << ": fault replay " << row.run_outcome
+                    << ", recovery "
+                    << (row.recovered ? "produced a certified continuation"
+                                      : "failed")
+                    << "\n";
+        }
         if (!row.diagnostics.empty()) {
           std::cerr << diag::render_text(row.diagnostics, row.name);
         }
       }
       table.print(std::cout);
       std::cout << "\n";
+    }
+
+    if (!cli.results_json_path.empty()) {
+      // Rewritten every round (and after an interrupt): always a complete,
+      // parsable document — interrupted jobs appear as "cancelled".
+      if (!write_file_atomic(cli.results_json_path,
+                             engine::results_json(rows) + "\n")) {
+        std::cerr << "cannot write " << cli.results_json_path << "\n";
+        stop_watcher();
+        return 1;
+      }
     }
 
     if (!cli.save_results_dir.empty() && round == 0) {
@@ -242,28 +364,29 @@ int main(int argc, char** argv) {
         }
         const std::string path =
             cli.save_results_dir + "/" + result_file_stem(row.name) + ".result";
-        std::ofstream out(path);
-        if (!out) {
+        if (!write_file_atomic(path, row.result_text)) {
           std::cerr << "cannot write " << path << "\n";
+          stop_watcher();
           return 1;
         }
-        out << row.result_text;
       }
     }
   }
+  stop_watcher();
 
   std::cout << batch.report();
   if (!cli.metrics_json_path.empty()) {
     if (cli.metrics_json_path == "-") {
       std::cout << batch.metrics_json() << "\n";
-    } else {
-      std::ofstream out(cli.metrics_json_path);
-      if (!out) {
-        std::cerr << "cannot write " << cli.metrics_json_path << "\n";
-        return 1;
-      }
-      out << batch.metrics_json() << "\n";
+    } else if (!write_file_atomic(cli.metrics_json_path,
+                                  batch.metrics_json() + "\n")) {
+      std::cerr << "cannot write " << cli.metrics_json_path << "\n";
+      return 1;
     }
+  }
+  if (g_interrupted != 0) {
+    std::cerr << "interrupted: partial results flushed\n";
+    return 130;
   }
   return all_ok ? 0 : 1;
 }

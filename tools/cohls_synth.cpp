@@ -11,6 +11,10 @@
 //   --gantt / --csv / --dot / --placement
 //                          extra output sections
 //   --simulate SEED        simulate one cyberphysical run
+//   --inject-faults FILE   replay the schedule against a fault plan (see
+//                          src/sim/faults.hpp for the plan format) and, if
+//                          the run breaks, attempt degraded-mode recovery
+//                          re-synthesis on the surviving devices
 //   --deadline S           abort the synthesis after S seconds
 //   --milp-threads N       workers inside each layer MILP solve (default 0 =
 //                          auto: one per hardware thread; 1 = sequential,
@@ -29,6 +33,7 @@
 //   0 success        1 cannot open/write a file   2 usage error
 //   3 parse error    4 result failed certification   5 infeasible
 //   6 cancelled (deadline exceeded)   7 lint failure
+//   8 run failed (simulated run broke and was not recovered)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -38,6 +43,7 @@
 #include "analysis/linter.hpp"
 #include "baseline/conventional.hpp"
 #include "core/progressive_resynthesis.hpp"
+#include "core/recovery.hpp"
 #include "engine/batch.hpp"
 #include "io/assay_text.hpp"
 #include "io/export.hpp"
@@ -61,6 +67,7 @@ struct CliOptions {
   bool placement = false;
   bool simulate = false;
   std::uint64_t simulate_seed = 1;
+  std::string fault_plan_path;
   std::string save_result_path;
   double deadline_seconds = 0.0;
   /// MilpOptions::threads for the layer solves; 0 = auto (whole machine —
@@ -81,6 +88,7 @@ enum ExitCode : int {
   kExitInfeasible = 5,
   kExitCancelled = 6,
   kExitLint = 7,
+  kExitRunFailed = 8,
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -88,7 +96,8 @@ enum ExitCode : int {
             << " <assay-file> [--max-devices N] [--threshold N] [--transport N]"
                " [--conventional] [--layout] [--no-resynthesis]"
                " [--gantt] [--csv] [--dot] [--placement] [--simulate SEED]"
-               " [--save-result FILE] [--deadline S] [--milp-threads N]"
+               " [--inject-faults FILE] [--save-result FILE] [--deadline S]"
+               " [--milp-threads N]"
                " [--lint] [--lint-only] [--Werror] [--diag-format=text|json]\n";
   std::exit(kExitUsage);
 }
@@ -128,6 +137,11 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--simulate") {
       cli.simulate = true;
       cli.simulate_seed = static_cast<std::uint64_t>(numeric_arg(argc, argv, i));
+    } else if (arg == "--inject-faults") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      cli.fault_plan_path = argv[++i];
     } else if (arg == "--save-result") {
       if (i + 1 >= argc) {
         usage(argv[0]);
@@ -269,13 +283,60 @@ int main(int argc, char** argv) {
       out << io::to_text(report.result, assay);
       std::cout << "result saved to " << cli.save_result_path << "\n";
     }
-    if (cli.simulate) {
+    if (cli.simulate || !cli.fault_plan_path.empty()) {
       sim::RuntimeOptions options;
       options.seed = cli.simulate_seed;
+      if (!cli.fault_plan_path.empty()) {
+        std::ifstream plan_file(cli.fault_plan_path);
+        if (!plan_file) {
+          std::cerr << "cannot open " << cli.fault_plan_path << "\n";
+          return kExitIo;
+        }
+        std::ostringstream plan_buffer;
+        plan_buffer << plan_file.rdbuf();
+        options.faults = sim::parse_fault_plan(plan_buffer.str());
+      }
       const sim::RunTrace trace = sim::simulate_run(report.result, assay, options);
       std::cout << "\nsimulated run (seed " << cli.simulate_seed
-                << "): completed at " << trace.completed_at << " (planned fixed "
-                << trace.planned_fixed << ", overrun " << trace.overrun() << ")\n";
+                << "): " << sim::to_string(trace.outcome) << "\n";
+      if (trace.ok()) {
+        std::cout << "completed at " << trace.completed_at << " (planned fixed "
+                  << trace.planned_fixed << ", overrun " << trace.overrun()
+                  << ")\n";
+      } else {
+        std::cout << "run broke at minute " << trace.failure->at.count()
+                  << " in layer " << trace.failure->layer << ": "
+                  << trace.failure->detail << "\n";
+        std::cout << "completed operations: " << trace.completed.size()
+                  << ", in flight: " << trace.in_flight.size()
+                  << ", lost: " << trace.lost.size() << "\n";
+        for (const sim::InFlightOperation& running : trace.in_flight) {
+          std::cout << "  in flight: operation " << running.op << " on device "
+                    << running.device << " (" << running.elapsed
+                    << " elapsed, " << running.remaining << " remaining)\n";
+        }
+        if (cli.fault_plan_path.empty()) {
+          // Plain --simulate has no recovery stage: a broken run is a
+          // nonzero exit, never a fabricated success.
+          return kExitRunFailed;
+        }
+        const core::RecoveryOutcome recovery =
+            core::recover(assay, report.result, trace, synthesis);
+        if (!recovery.recovered) {
+          std::cout << "recovery: FAILED\n";
+          std::cout << diag::render(recovery.diagnostics, cli.diag_format, "");
+          return kExitRunFailed;
+        }
+        const model::Assay& residual = recovery.residual.assay;
+        std::cout << "recovery: certified continuation over "
+                  << residual.operation_count() << " outstanding operations ("
+                  << recovery.residual.pinned.size() << " pinned in flight, "
+                  << recovery.residual.surviving_devices.size()
+                  << " surviving devices)\n";
+        std::cout << "continuation time: "
+                  << recovery.continuation.result.total_time(residual) << " in "
+                  << recovery.continuation.result.layers.size() << " layers\n";
+      }
     }
     return certification.empty() ? kExitOk : kExitInvalid;
   } catch (const io::ParseError& e) {
@@ -290,6 +351,10 @@ int main(int argc, char** argv) {
       return kExitLint;
     }
     std::cerr << "parse error: " << e.what() << "\n";
+    return kExitParse;
+  } catch (const sim::FaultPlanError& e) {
+    std::cerr << "fault plan error at " << cli.fault_plan_path << ":" << e.line()
+              << ": " << e.what() << "\n";
     return kExitParse;
   } catch (const CancelledError& e) {
     std::cerr << "cancelled: " << e.what() << "\n";
