@@ -4,8 +4,10 @@
 // the actual per-layer MILPs that arise while synthesizing the Table-2
 // bioassays — captured through the LayerSolveCache hook — plus random mixed
 // integer programs. Every instance is solved with both configurations and
-// the final objectives are required to match; a mismatch makes the binary
-// exit non-zero, so the CI smoke run doubles as a differential test.
+// the final objectives are required to match whenever both searches close
+// (truncated searches hold exploration-order-dependent incumbents but must
+// never report NoSolution); a mismatch makes the binary exit non-zero, so
+// the CI smoke run doubles as a differential test.
 //
 // Output: a human-readable table, and (full mode) BENCH_solver.json with
 // one record per (solver, instance) holding nodes, pivots and wall ms.
@@ -21,9 +23,18 @@
 // hosts with >= 4 hardware threads — on fewer cores the workers time-slice
 // one CPU and no parallel solver can beat sequential wall clock.
 //
-// Usage: bench_solver_perf [--smoke] [--scaling] [--out <path>]
+// Every captured layer model carries its combinatorial bound provider
+// (core::IlpLayerModel::bound_provider) and both solver configurations
+// attach it, together with the root dive and pseudocost branching — the
+// production search configuration. With the configuration-cost floor cuts
+// the big case-2/3 layer-0 MILPs now CLOSE to proven optimality (550/548),
+// which the full run and the --closure mode assert, along with "no worker
+// count reports NoSolution" and "status identical across worker counts".
+//
+// Usage: bench_solver_perf [--smoke] [--scaling] [--closure] [--out <path>]
 //   --smoke    quick differential run (CI), no JSON
 //   --scaling  quick scaling-only run (CI Release smoke), no JSON
+//   --closure  case2/case3 layer-0 closure gate (CI Release), no JSON
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -41,6 +52,7 @@
 #include "core/progressive_resynthesis.hpp"
 #include "core/solve_hooks.hpp"
 #include "lp/simplex.hpp"
+#include "milp/bounds.hpp"
 #include "milp/branch_and_bound.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -53,9 +65,16 @@ using Clock = std::chrono::steady_clock;
 
 // --- instance capture --------------------------------------------------------
 
+/// A captured per-layer MILP plus the combinatorial node-bound provider the
+/// production search attaches to it.
+struct CapturedLayer {
+  milp::MilpModel model;
+  std::shared_ptr<const milp::NodeBoundProvider> bounds;
+};
+
 /// A LayerSolveCache that never hits: it rebuilds the layer MILP exactly as
 /// synthesize_layer would (same inputs, same gate) and keeps a copy of the
-/// model, letting synthesis proceed untouched.
+/// model and its bound provider, letting synthesis proceed untouched.
 class ModelRecorder final : public core::LayerSolveCache {
  public:
   explicit ModelRecorder(std::size_t cap) : cap_(cap) {}
@@ -96,7 +115,7 @@ class ModelRecorder final : public core::LayerSolveCache {
     try {
       const core::IlpLayerModel ilp(ctx.assay, std::move(inputs), ctx.transport,
                                     ctx.costs);
-      models_.push_back(ilp.model());
+      models_.push_back({ilp.model(), ilp.bound_provider()});
     } catch (const std::exception&) {
       // A model we cannot build is simply not benchmarked.
     }
@@ -105,7 +124,7 @@ class ModelRecorder final : public core::LayerSolveCache {
 
   void store(const core::LayerSolveContext&, const core::LayerOutcome&) override {}
 
-  [[nodiscard]] const std::vector<milp::MilpModel>& models() const { return models_; }
+  [[nodiscard]] const std::vector<CapturedLayer>& models() const { return models_; }
 
  private:
   /// Mirrors the synthesize_layer gate but with a wider box (ops <= 12,
@@ -123,12 +142,12 @@ class ModelRecorder final : public core::LayerSolveCache {
   }
 
   std::size_t cap_;
-  std::vector<milp::MilpModel> models_;
+  std::vector<CapturedLayer> models_;
 };
 
-std::vector<milp::MilpModel> capture_layer_models(const model::Assay& assay,
-                                                  std::size_t cap,
-                                                  int indeterminate_threshold = 10) {
+std::vector<CapturedLayer> capture_layer_models(const model::Assay& assay,
+                                                std::size_t cap,
+                                                int indeterminate_threshold = 10) {
   core::SynthesisOptions options;
   options.max_devices = 25;
   options.layering.indeterminate_threshold = indeterminate_threshold;
@@ -182,21 +201,29 @@ struct Measurement {
   milp::MilpStatus status = milp::MilpStatus::NoSolution;
   double objective = 0.0;
   bool has_objective = false;
+  bool closed = false;      ///< the search proved optimality or infeasibility
+  double best_bound = 0.0;  ///< proven lower bound at exit
+  double gap = 0.0;         ///< objective - best_bound when an incumbent exists
   long nodes = 0;
   long pivots = 0;
   long warm_solves = 0;
+  long bound_prunes = 0;
+  long cutoff_prunes = 0;
+  long dive_lp_solves = 0;
+  bool dive_found_incumbent = false;
   double wall_ms = 0.0;
 };
 
-milp::MilpOptions solver_config(bool warm_revised, long node_cap) {
+milp::MilpOptions solver_config(bool warm_revised, long node_cap,
+                                std::shared_ptr<const milp::NodeBoundProvider> bounds) {
   milp::MilpOptions options;
-  // Random instances (node_cap == 0) run to completion. The Table-2 layer
-  // models are too hard for either configuration to close, so both get the
-  // SAME node budget: the searches traverse identical trees (verified by
-  // matching incumbents and bounds at every cap), making wall-per-node a
-  // clean comparison of the two solvers' node re-solve cost.
+  // Random instances (node_cap == 0) run to completion; layer models get the
+  // SAME node budget in both configurations and the SAME bound provider, so
+  // the searches traverse identical trees and wall-per-node is a clean
+  // comparison of the two solvers' node re-solve cost.
   options.max_nodes = node_cap > 0 ? node_cap : 2000000;
   options.time_limit_seconds = 600.0;
+  options.bounds = std::move(bounds);
   if (warm_revised) {
     options.simplex.algorithm = lp::SimplexAlgorithm::Revised;
     options.presolve = true;
@@ -209,24 +236,37 @@ milp::MilpOptions solver_config(bool warm_revised, long node_cap) {
   return options;
 }
 
-Measurement measure(const milp::MilpModel& model, bool warm_revised, int repetitions,
+void fill_common(Measurement& out, const milp::MilpSolution& solution) {
+  out.status = solution.status;
+  out.has_objective = solution.status == milp::MilpStatus::Optimal ||
+                      solution.status == milp::MilpStatus::Feasible;
+  out.objective = out.has_objective ? solution.objective : 0.0;
+  out.closed = solution.status == milp::MilpStatus::Optimal ||
+               solution.status == milp::MilpStatus::Infeasible;
+  out.best_bound = solution.best_bound;
+  out.gap = out.has_objective ? solution.objective - solution.best_bound : 0.0;
+  out.nodes = solution.nodes;
+  out.pivots = solution.lp_pivots;
+  out.warm_solves = solution.lp_warm_solves;
+  out.bound_prunes = solution.bound_prunes;
+  out.cutoff_prunes = solution.cutoff_prunes;
+  out.dive_lp_solves = solution.dive_lp_solves;
+  out.dive_found_incumbent = solution.dive_found_incumbent;
+}
+
+Measurement measure(const CapturedLayer& instance, bool warm_revised, int repetitions,
                     long node_cap) {
-  const milp::MilpOptions options = solver_config(warm_revised, node_cap);
+  const milp::MilpOptions options =
+      solver_config(warm_revised, node_cap, instance.bounds);
   Measurement out;
   out.wall_ms = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < repetitions; ++rep) {
     const auto begin = Clock::now();
-    const milp::MilpSolution solution = milp::solve_milp(model, options);
+    const milp::MilpSolution solution = milp::solve_milp(instance.model, options);
     const double ms =
         std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
     out.wall_ms = std::min(out.wall_ms, ms);  // min over reps: least-noise estimate
-    out.status = solution.status;
-    out.has_objective = solution.status == milp::MilpStatus::Optimal ||
-                        solution.status == milp::MilpStatus::Feasible;
-    out.objective = out.has_objective ? solution.objective : 0.0;
-    out.nodes = solution.nodes;
-    out.pivots = solution.lp_pivots;
-    out.warm_solves = solution.lp_warm_solves;
+    fill_common(out, solution);
   }
   return out;
 }
@@ -241,18 +281,31 @@ struct InstanceRow {
   double node_speedup = 0.0;  ///< dense ms/node over revised ms/node
 };
 
-InstanceRow run_instance(const std::string& name, const milp::MilpModel& model,
+InstanceRow run_instance(const std::string& name, const CapturedLayer& instance,
                          int repetitions, long node_cap) {
   InstanceRow row;
   row.name = name;
-  row.vars = model.variable_count();
-  row.rows = model.constraint_count();
-  row.dense = measure(model, /*warm_revised=*/false, repetitions, node_cap);
-  row.revised = measure(model, /*warm_revised=*/true, repetitions, node_cap);
-  row.objectives_match =
-      row.dense.status == row.revised.status &&
-      (!row.dense.has_objective ||
-       std::abs(row.dense.objective - row.revised.objective) <= 1e-6);
+  row.vars = instance.model.variable_count();
+  row.rows = instance.model.constraint_count();
+  row.dense = measure(instance, /*warm_revised=*/false, repetitions, node_cap);
+  row.revised = measure(instance, /*warm_revised=*/true, repetitions, node_cap);
+  // Objective identity is a theorem only when BOTH searches close: root
+  // presolve changes the LP fractional points, hence the dive and the
+  // pseudocost history, hence the tree — two truncated searches legitimately
+  // hold different incumbents. A truncated production (revised) run must
+  // still hold SOME incumbent — its root dive guarantees one on feasible
+  // instances — while the dense seed configuration has no dive (the dive
+  // re-solves on the revised workspace) and may legitimately hold nothing
+  // at a small node cap.
+  const bool both_closed = row.dense.closed && row.revised.closed;
+  if (both_closed) {
+    row.objectives_match =
+        row.dense.status == row.revised.status &&
+        (!row.dense.has_objective ||
+         std::abs(row.dense.objective - row.revised.objective) <= 1e-6);
+  } else {
+    row.objectives_match = row.revised.status != milp::MilpStatus::NoSolution;
+  }
   const double dense_per_node =
       row.dense.wall_ms / static_cast<double>(std::max<long>(row.dense.nodes, 1));
   const double revised_per_node =
@@ -269,9 +322,16 @@ struct ScalingPoint {
   milp::MilpStatus status = milp::MilpStatus::NoSolution;
   double objective = 0.0;
   bool has_objective = false;
+  bool closed = false;
+  double best_bound = 0.0;
+  double gap = 0.0;
   long nodes = 0;
   long steals = 0;
   long incumbent_updates = 0;
+  long bound_prunes = 0;
+  long cutoff_prunes = 0;
+  long dive_lp_solves = 0;
+  bool dive_found_incumbent = false;
   double idle_seconds = 0.0;
   double wall_ms = 0.0;
   double speedup = 0.0;  ///< 1-worker wall over this wall
@@ -291,25 +351,30 @@ struct ScalingRow {
   bool closed = false;
   bool objectives_match = true;  ///< closed rows: every team proved the same result
   bool must_close = false;  ///< caller expects this instance to close (gates the run)
+  /// Every worker count reported the same status as the 1-worker baseline
+  /// (in particular: nobody degraded to NoSolution).
+  bool status_consistent = true;
+  bool any_nosolution = false;
 };
 
-ScalingRow run_scaling(const std::string& name, const milp::MilpModel& model,
+ScalingRow run_scaling(const std::string& name, const CapturedLayer& instance,
                        const std::vector<int>& worker_counts, long node_cap,
                        int repetitions) {
   ScalingRow row;
   row.name = name;
-  row.vars = model.variable_count();
-  row.rows = model.constraint_count();
+  row.vars = instance.model.variable_count();
+  row.rows = instance.model.constraint_count();
   row.node_cap = node_cap;
   for (const int threads : worker_counts) {
-    milp::MilpOptions options = solver_config(/*warm_revised=*/true, node_cap);
+    milp::MilpOptions options =
+        solver_config(/*warm_revised=*/true, node_cap, instance.bounds);
     options.threads = threads;
     ScalingPoint point;
     point.threads = threads;
     point.wall_ms = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < repetitions; ++rep) {
       const auto begin = Clock::now();
-      const milp::MilpSolution solution = milp::solve_milp(model, options);
+      const milp::MilpSolution solution = milp::solve_milp(instance.model, options);
       const double ms =
           std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
       point.wall_ms = std::min(point.wall_ms, ms);
@@ -317,9 +382,17 @@ ScalingRow run_scaling(const std::string& name, const milp::MilpModel& model,
       point.has_objective = solution.status == milp::MilpStatus::Optimal ||
                             solution.status == milp::MilpStatus::Feasible;
       point.objective = point.has_objective ? solution.objective : 0.0;
+      point.closed = solution.status == milp::MilpStatus::Optimal ||
+                     solution.status == milp::MilpStatus::Infeasible;
+      point.best_bound = solution.best_bound;
+      point.gap = point.has_objective ? solution.objective - solution.best_bound : 0.0;
       point.nodes = solution.nodes;
       point.steals = solution.steals;
       point.incumbent_updates = solution.incumbent_updates;
+      point.bound_prunes = solution.bound_prunes;
+      point.cutoff_prunes = solution.cutoff_prunes;
+      point.dive_lp_solves = solution.dive_lp_solves;
+      point.dive_found_incumbent = solution.dive_found_incumbent;
       point.idle_seconds = solution.worker_idle_seconds;
     }
     row.points.push_back(point);
@@ -329,6 +402,9 @@ ScalingRow run_scaling(const std::string& name, const milp::MilpModel& model,
                base.status == milp::MilpStatus::Infeasible;
   for (ScalingPoint& point : row.points) {
     point.speedup = point.wall_ms > 0.0 ? base.wall_ms / point.wall_ms : 0.0;
+    row.status_consistent = row.status_consistent && point.status == base.status;
+    row.any_nosolution =
+        row.any_nosolution || point.status == milp::MilpStatus::NoSolution;
     if (row.closed) {
       row.objectives_match =
           row.objectives_match && point.status == base.status &&
@@ -355,8 +431,39 @@ std::string json_record(const std::string& solver, const InstanceRow& row,
      << "\", \"vars\": " << row.vars << ", \"rows\": " << row.rows
      << ", \"status\": \"" << milp::to_string(m.status) << "\", \"nodes\": " << m.nodes
      << ", \"pivots\": " << m.pivots << ", \"warm_solves\": " << m.warm_solves
+     << ", \"closed\": " << (m.closed ? "true" : "false")
+     << ", \"objective\": " << (m.has_objective ? std::to_string(m.objective) : "null")
+     << ", \"best_bound\": " << m.best_bound << ", \"proven_gap\": " << m.gap
+     << ", \"bound_prunes\": " << m.bound_prunes
+     << ", \"cutoff_prunes\": " << m.cutoff_prunes
+     << ", \"dive_lp_solves\": " << m.dive_lp_solves
+     << ", \"dive_found_incumbent\": " << (m.dive_found_incumbent ? "true" : "false")
      << ", \"wall_ms\": " << m.wall_ms << "}";
   return os.str();
+}
+
+/// The acceptance gate of the bound-driven-search PR: the big Table-2
+/// layer-0 MILPs close to proven optimality at (or below) the known
+/// incumbents, at every worker count.
+struct ClosureGate {
+  const char* instance;
+  double known_incumbent;
+  bool seen = false;
+  bool ok = false;
+};
+
+void check_closure(std::vector<ClosureGate>& gates, const ScalingRow& row) {
+  for (ClosureGate& gate : gates) {
+    if (row.name != gate.instance) {
+      continue;
+    }
+    gate.seen = true;
+    gate.ok = row.closed && row.status_consistent && !row.any_nosolution;
+    for (const ScalingPoint& point : row.points) {
+      gate.ok = gate.ok && point.status == milp::MilpStatus::Optimal &&
+                point.objective <= gate.known_incumbent + 1e-6;
+    }
+  }
 }
 
 }  // namespace
@@ -364,6 +471,7 @@ std::string json_record(const std::string& solver, const InstanceRow& row,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool scaling_only = false;
+  bool closure_only = false;
   std::string out_path = "BENCH_solver.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -371,12 +479,65 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--scaling") {
       scaling_only = true;
+    } else if (arg == "--closure") {
+      closure_only = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_solver_perf [--smoke] [--scaling] [--out <path>]\n";
+      std::cerr << "usage: bench_solver_perf [--smoke] [--scaling] [--closure] "
+                   "[--out <path>]\n";
       return 2;
     }
+  }
+
+  if (closure_only) {
+    // CI Release closure gate: the big Table-2 layer-0 MILPs (the full
+    // 10-indeterminate-op layers) must close to proven optimality at or
+    // below the known incumbents, with identical status at every worker
+    // count and no NoSolution anywhere.
+    std::vector<ClosureGate> gates{{"case2-layer-0", 550.0},
+                                   {"case3-layer-0", 548.0}};
+    struct ClosureSpec {
+      const char* tag;
+      model::Assay assay;
+    };
+    std::vector<ClosureSpec> specs;
+    specs.push_back({"case2", assays::gene_expression_assay()});
+    specs.push_back({"case3", assays::rt_qpcr_assay()});
+    bool ok = true;
+    for (const ClosureSpec& spec : specs) {
+      const auto models = capture_layer_models(spec.assay, 1);
+      int index = 0;
+      for (const CapturedLayer& captured : models) {
+        std::ostringstream name;
+        name << spec.tag << "-layer-" << index++;
+        ScalingRow row = run_scaling(name.str(), captured, {1, 2, 4},
+                                     /*node_cap=*/5000, /*repetitions=*/1);
+        row.must_close = true;
+        check_closure(gates, row);
+        for (const ScalingPoint& point : row.points) {
+          std::cout << row.name << " threads=" << point.threads << ": "
+                    << milp::to_string(point.status) << " obj=" << point.objective
+                    << " bound=" << point.best_bound << " nodes=" << point.nodes
+                    << " bound_prunes=" << point.bound_prunes
+                    << " dive=" << (point.dive_found_incumbent ? 1 : 0) << ", "
+                    << point.wall_ms << " ms\n";
+        }
+      }
+    }
+    for (const ClosureGate& gate : gates) {
+      if (!gate.seen || !gate.ok) {
+        std::cout << "CLOSURE GATE FAILED: " << gate.instance
+                  << (gate.seen ? " did not close optimally at <= " : " not captured")
+                  << (gate.seen ? std::to_string(gate.known_incumbent) : std::string())
+                  << "\n";
+        ok = false;
+      }
+    }
+    std::cout << (ok ? "closure gate passed: case2/case3 layer-0 proven optimal "
+                       "at every worker count\n"
+                     : "closure gate FAILED\n");
+    return ok ? 0 : 1;
   }
 
   if (scaling_only) {
@@ -392,10 +553,10 @@ int main(int argc, char** argv) {
               << " small case-2 layer MILPs, workers {1,2,4} ===\n";
     bool ok = true;
     int index = 0;
-    for (const milp::MilpModel& model : models) {
+    for (const CapturedLayer& captured : models) {
       std::ostringstream name;
       name << "case2-t5-layer-" << index++;
-      const ScalingRow row = run_scaling(name.str(), model, {1, 2, 4},
+      const ScalingRow row = run_scaling(name.str(), captured, {1, 2, 4},
                                          /*node_cap=*/20000, /*repetitions=*/1);
       for (const ScalingPoint& point : row.points) {
         std::cout << row.name << " threads=" << point.threads << ": "
@@ -417,7 +578,10 @@ int main(int argc, char** argv) {
   const int repetitions = smoke ? 1 : 3;
   const std::size_t cap_per_case = smoke ? 1 : 3;
   const int random_count = smoke ? 6 : 30;
-  // Equal node budget for the (open) Table-2 layer models; see solver_config.
+  // Equal node budget for the Table-2 layer differential rows. The budget
+  // stays modest because the dense seed pays ~0.5 s per node on the big
+  // layer-0 models; closure of those models is asserted in the scaling
+  // sweep below (production configuration, generous cap), not here.
   const long layer_node_cap = smoke ? 25 : 120;
 
   std::cout << "=== Solver performance: dense cold vs revised warm-started B&B ===\n";
@@ -440,18 +604,18 @@ int main(int argc, char** argv) {
   std::vector<InstanceRow> rows;
   std::vector<double> table2_speedups;  // case 2/3 only: the acceptance metric
   // Case-2/3 layer models are kept for the parallel-scaling sweep below.
-  std::vector<std::pair<std::string, milp::MilpModel>> table2_models;
+  std::vector<std::pair<std::string, CapturedLayer>> table2_models;
   for (const CaseSpec& spec : cases) {
     const auto models = capture_layer_models(spec.assay, cap_per_case);
     std::cout << spec.tag << ": captured " << models.size() << " layer MILPs\n";
     int index = 0;
-    for (const milp::MilpModel& model : models) {
+    for (const CapturedLayer& captured : models) {
       std::ostringstream name;
       name << spec.tag << "-layer-" << index++;
-      rows.push_back(run_instance(name.str(), model, 1, layer_node_cap));
+      rows.push_back(run_instance(name.str(), captured, 1, layer_node_cap));
       if (spec.tag != std::string("case1")) {
         table2_speedups.push_back(rows.back().node_speedup);
-        table2_models.emplace_back(name.str(), model);
+        table2_models.emplace_back(name.str(), captured);
       }
     }
   }
@@ -459,9 +623,11 @@ int main(int argc, char** argv) {
     std::ostringstream name;
     name << "rand-" << i;
     rows.push_back(run_instance(name.str(),
-                                make_random_milp(static_cast<std::uint64_t>(i) *
-                                                     6364136223846793005ULL +
-                                                 1442695040888963407ULL),
+                                CapturedLayer{make_random_milp(
+                                                  static_cast<std::uint64_t>(i) *
+                                                      6364136223846793005ULL +
+                                                  1442695040888963407ULL),
+                                              nullptr},
                                 repetitions, /*node_cap=*/0));
   }
 
@@ -516,19 +682,28 @@ int main(int argc, char** argv) {
   std::vector<ScalingRow> scaling_rows;
   std::vector<double> scaling_speedups_4w;  // case-2/3 layer models
   bool scaling_objectives_ok = true;
+  bool scaling_status_ok = true;     ///< same status at every worker count
+  bool scaling_no_nosolution = true; ///< no worker count degraded to NoSolution
   const unsigned hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ClosureGate> closure_gates{{"case2-layer-0", 550.0},
+                                         {"case3-layer-0", 548.0}};
   if (!smoke) {
     std::cout << "\n=== Parallel scaling: revised warm B&B, workers {1,2,4,8}, "
                  "equal node budgets ===\n";
-    // The big Table-2 layer models do not close at the shared node budget;
-    // their rows measure wall-clock scaling on expensive nodes and report
-    // the truncated incumbents informationally ("open"). Objective identity
-    // is asserted on searches that CLOSE: the same assays re-layered at a
-    // low indeterminate threshold (smaller per-layer MILPs every team can
-    // solve to optimality) and the random instances.
-    for (const auto& [name, model] : table2_models) {
+    // With the combinatorial bounds + cost-floor cuts the big Table-2 layer
+    // models now CLOSE well inside the budget, so their rows assert full
+    // objective identity across worker counts — and the layer-0 rows feed
+    // the closure gate (proven optimality at or below the known 550/548
+    // incumbents at EVERY worker count, never NoSolution). The low-threshold
+    // re-layered assays and the random instances stay as smaller closed
+    // cross-checks.
+    for (const auto& [name, captured] : table2_models) {
       scaling_rows.push_back(
-          run_scaling(name, model, {1, 2, 4, 8}, layer_node_cap, 1));
+          run_scaling(name, captured, {1, 2, 4, 8}, /*node_cap=*/5000, 1));
+      if (name == "case2-layer-0" || name == "case3-layer-0") {
+        scaling_rows.back().must_close = true;
+      }
+      check_closure(closure_gates, scaling_rows.back());
     }
     struct ClosedSpec {
       const char* tag;
@@ -541,11 +716,11 @@ int main(int argc, char** argv) {
       const auto models =
           capture_layer_models(spec.assay, 2, /*indeterminate_threshold=*/5);
       int index = 0;
-      for (const milp::MilpModel& model : models) {
+      for (const CapturedLayer& captured : models) {
         std::ostringstream name;
         name << spec.tag << "-layer-" << index++;
         scaling_rows.push_back(
-            run_scaling(name.str(), model, {1, 2, 4, 8}, /*node_cap=*/20000, 1));
+            run_scaling(name.str(), captured, {1, 2, 4, 8}, /*node_cap=*/20000, 1));
         scaling_rows.back().must_close = true;
       }
     }
@@ -554,8 +729,10 @@ int main(int argc, char** argv) {
       name << "rand-scale-" << i;
       scaling_rows.push_back(run_scaling(
           name.str(),
-          make_random_milp(static_cast<std::uint64_t>(i) * 2862933555777941757ULL +
-                           3037000493ULL),
+          CapturedLayer{make_random_milp(static_cast<std::uint64_t>(i) *
+                                             2862933555777941757ULL +
+                                         3037000493ULL),
+                        nullptr},
           {1, 2, 4, 8}, /*node_cap=*/2000, 1));
       scaling_rows.back().must_close = true;
     }
@@ -567,8 +744,16 @@ int main(int argc, char** argv) {
       scaling_objectives_ok = scaling_objectives_ok &&
                               (!row.closed || row.objectives_match) &&
                               (!row.must_close || row.closed);
+      scaling_status_ok = scaling_status_ok && row.status_consistent;
+      scaling_no_nosolution = scaling_no_nosolution && !row.any_nosolution;
       if (row.must_close && !row.closed) {
         std::cout << row.name << ": search did not close at its node cap\n";
+      }
+      if (!row.status_consistent) {
+        std::cout << row.name << ": STATUS differs across worker counts\n";
+      }
+      if (row.any_nosolution) {
+        std::cout << row.name << ": a worker count reported NoSolution\n";
       }
       const bool layer_instance = row.name.rfind("rand", 0) != 0;
       // Only layer rows whose sequential solve is substantial feed the
@@ -624,6 +809,21 @@ int main(int argc, char** argv) {
   if (!scaling_objectives_ok) {
     std::cout << "OBJECTIVE MISMATCH across worker counts\n";
   }
+  bool closure_ok = smoke;
+  if (!smoke) {
+    closure_ok = true;
+    for (const ClosureGate& gate : closure_gates) {
+      if (gate.seen && gate.ok) {
+        std::cout << gate.instance << ": closed to proven optimality at <= "
+                  << gate.known_incumbent << " at every worker count\n";
+      } else {
+        std::cout << "CLOSURE GATE FAILED: " << gate.instance
+                  << (gate.seen ? " did not close optimally" : " was not captured")
+                  << "\n";
+        closure_ok = false;
+      }
+    }
+  }
 
   if (!smoke) {
     std::ofstream out(out_path);
@@ -638,6 +838,18 @@ int main(int argc, char** argv) {
         << median(scaling_speedups_4w) << ",\n";
     out << "  \"scaling_objectives_match\": "
         << (scaling_objectives_ok ? "true" : "false") << ",\n";
+    out << "  \"scaling_status_consistent\": "
+        << (scaling_status_ok ? "true" : "false") << ",\n";
+    out << "  \"scaling_no_nosolution\": "
+        << (scaling_no_nosolution ? "true" : "false") << ",\n";
+    out << "  \"closure\": [";
+    for (std::size_t g = 0; g < closure_gates.size(); ++g) {
+      const ClosureGate& gate = closure_gates[g];
+      out << (g > 0 ? ", " : "") << "{\"instance\": \"" << gate.instance
+          << "\", \"known_incumbent\": " << gate.known_incumbent
+          << ", \"closed\": " << (gate.seen && gate.ok ? "true" : "false") << "}";
+    }
+    out << "],\n";
     out << "  \"scaling\": [\n";
     for (std::size_t i = 0; i < scaling_rows.size(); ++i) {
       const ScalingRow& row = scaling_rows[i];
@@ -646,6 +858,8 @@ int main(int argc, char** argv) {
           << ", \"closed\": " << (row.closed ? "true" : "false")
           << ", \"objectives_match\": "
           << (row.closed ? (row.objectives_match ? "true" : "false") : "null")
+          << ", \"status_consistent\": "
+          << (row.status_consistent ? "true" : "false")
           << ", \"points\": [";
       for (std::size_t p = 0; p < row.points.size(); ++p) {
         const ScalingPoint& point = row.points[p];
@@ -653,10 +867,18 @@ int main(int argc, char** argv) {
             << ", \"status\": \"" << milp::to_string(point.status) << "\""
             << ", \"objective\": "
             << (point.has_objective ? std::to_string(point.objective) : "null")
+            << ", \"closed\": " << (point.closed ? "true" : "false")
+            << ", \"best_bound\": " << point.best_bound
+            << ", \"proven_gap\": " << point.gap
             << ", \"wall_ms\": " << point.wall_ms
             << ", \"speedup\": " << point.speedup << ", \"nodes\": " << point.nodes
             << ", \"steals\": " << point.steals
             << ", \"incumbent_updates\": " << point.incumbent_updates
+            << ", \"bound_prunes\": " << point.bound_prunes
+            << ", \"cutoff_prunes\": " << point.cutoff_prunes
+            << ", \"dive_lp_solves\": " << point.dive_lp_solves
+            << ", \"dive_found_incumbent\": "
+            << (point.dive_found_incumbent ? "true" : "false")
             << ", \"idle_seconds\": " << point.idle_seconds << "}";
       }
       out << "]}" << (i + 1 < scaling_rows.size() ? ",\n" : "\n");
@@ -672,6 +894,8 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << out_path << "\n";
   }
 
-  return all_match && overall_ok && scaling_objectives_ok && scaling_speedup_ok ? 0
-                                                                                : 1;
+  return all_match && overall_ok && scaling_objectives_ok && scaling_speedup_ok &&
+                 scaling_status_ok && scaling_no_nosolution && closure_ok
+             ? 0
+             : 1;
 }

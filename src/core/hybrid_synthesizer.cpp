@@ -55,6 +55,10 @@ LayerOutcome solve_with_hooks(const schedule::LayerRequest& request,
       event.milp_incumbent_updates = outcome.milp_incumbent_updates;
       event.milp_incumbent_races = outcome.milp_incumbent_races;
       event.milp_idle_seconds = outcome.milp_idle_seconds;
+      event.milp_bound_prunes = outcome.milp_bound_prunes;
+      event.milp_cutoff_prunes = outcome.milp_cutoff_prunes;
+      event.milp_dive_lp_solves = outcome.milp_dive_lp_solves;
+      event.milp_dive_found_incumbent = outcome.milp_dive_found_incumbent;
     }
     event.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
     options.observer->on_layer_solve(event);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "milp/bounds.hpp"
 #include "model/compatibility.hpp"
 #include "util/check.hpp"
 
@@ -58,6 +60,35 @@ Minutes IlpLayerModel::outgoing_reserve(OperationId id) const {
     }
   }
   return reserve;
+}
+
+double IlpLayerModel::occupation(int op) const {
+  const OperationId id = inputs_.ops[static_cast<std::size_t>(op)];
+  return static_cast<double>((assay_.operation(id).duration() + outgoing_reserve(id)).count());
+}
+
+bool IlpLayerModel::precedes(int a, int b) const {
+  return reach_[static_cast<std::size_t>(a)].count(b) > 0;
+}
+
+bool IlpLayerModel::must_overlap(int a, int b) const {
+  const double dur_a = static_cast<double>(
+      assay_.operation(inputs_.ops[static_cast<std::size_t>(a)]).duration().count());
+  const double dur_b = static_cast<double>(
+      assay_.operation(inputs_.ops[static_cast<std::size_t>(b)]).duration().count());
+  const double occ_a = occupation(a);
+  const double occ_b = occupation(b);
+  // "a runs after b" (q0 = 0) is impossible when a precedes b or the windows
+  // leave no room for st_a >= st_b + occ_b; symmetrically for "a before b".
+  const bool a_after_b_impossible =
+      (precedes(a, b) && dur_a + occ_b > 0.0) ||
+      lst_[static_cast<std::size_t>(a)] <
+          est_[static_cast<std::size_t>(b)] + occ_b - 1e-9;
+  const bool a_before_b_impossible =
+      (precedes(b, a) && dur_b + occ_a > 0.0) ||
+      lst_[static_cast<std::size_t>(b)] <
+          est_[static_cast<std::size_t>(a)] + occ_a - 1e-9;
+  return a_after_b_impossible && a_before_b_impossible;
 }
 
 bool IlpLayerModel::device_compatible(const model::Operation& op, int device) const {
@@ -116,12 +147,119 @@ void IlpLayerModel::build() {
   makespan_ = model_.add_variable(milp::VarKind::Continuous, 0.0, horizon_,
                                   costs_.weight_time(), "sum_t");
 
+  tighten_time_windows();
   add_device_configuration();
   add_binding_consistency();
   add_dependencies();
   add_conflicts();
+  add_clique_cuts();
   add_indeterminate_rules();
   add_objective_sums();
+  add_cost_floor_cuts();
+}
+
+// Per-operation start windows [est, lst], derived from the dependency
+// structure alone and folded into the start columns' bounds. Everything
+// downstream keys off these windows: the per-pair big-M constants in
+// (10)-(11), the q fixings, the clique cuts, and the node-bound provider
+// (whose root windows are exactly these column bounds).
+void IlpLayerModel::tighten_time_windows() {
+  const int n = static_cast<int>(inputs_.ops.size());
+  est_.assign(static_cast<std::size_t>(n), 0.0);
+  lst_.assign(static_cast<std::size_t>(n), horizon_);
+  reach_.assign(static_cast<std::size_t>(n), {});
+
+  std::vector<std::vector<int>> children(static_cast<std::size_t>(n));
+  for (const OperationId child_id : inputs_.ops) {
+    const int c = op_index(child_id);
+    for (const OperationId parent_id : assay_.operation(child_id).parents()) {
+      if (in_layer_.count(parent_id)) {
+        children[static_cast<std::size_t>(op_index(parent_id))].push_back(c);
+      } else {
+        // Cross-layer parent: with no fixed producer device the arrival time
+        // is a hard earliest start (the dep_cross row); with one, the child
+        // may co-locate and start at zero, so nothing is implied.
+        const double t =
+            static_cast<double>(transport_.edge_time(parent_id, child_id).count());
+        const auto prior = inputs_.prior_binding.find(parent_id);
+        const bool producer_fixed =
+            prior != inputs_.prior_binding.end() &&
+            std::find(fixed_ids_.begin(), fixed_ids_.end(), prior->second) !=
+                fixed_ids_.end();
+        if (t > 0.0 && !producer_fixed) {
+          est_[static_cast<std::size_t>(c)] =
+              std::max(est_[static_cast<std::size_t>(c)], t);
+        }
+      }
+    }
+  }
+
+  // Precedence closure (the layer DAG is small; per-op DFS is fine).
+  for (int a = 0; a < n; ++a) {
+    std::vector<int> stack = children[static_cast<std::size_t>(a)];
+    while (!stack.empty()) {
+      const int b = stack.back();
+      stack.pop_back();
+      if (reach_[static_cast<std::size_t>(a)].insert(b).second) {
+        for (const int grandchild : children[static_cast<std::size_t>(b)]) {
+          stack.push_back(grandchild);
+        }
+      }
+    }
+  }
+
+  const auto duration = [this](int i) {
+    return static_cast<double>(
+        assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]).duration().count());
+  };
+
+  // Longest-path relaxation over the DAG. A same-device child pays no
+  // transport, so only durations are safe to propagate.
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (int p = 0; p < n; ++p) {
+      for (const int c : children[static_cast<std::size_t>(p)]) {
+        const double reach_time = est_[static_cast<std::size_t>(p)] + duration(p);
+        if (reach_time > est_[static_cast<std::size_t>(c)] + 1e-9) {
+          est_[static_cast<std::size_t>(c)] = reach_time;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Latest starts against the horizon: st_i + (longest duration chain from i
+  // inclusive) <= makespan <= horizon.
+  std::vector<double> down(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    down[static_cast<std::size_t>(i)] = duration(i);
+  }
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (int p = 0; p < n; ++p) {
+      for (const int c : children[static_cast<std::size_t>(p)]) {
+        const double chain = duration(p) + down[static_cast<std::size_t>(c)];
+        if (chain > down[static_cast<std::size_t>(p)] + 1e-9) {
+          down[static_cast<std::size_t>(p)] = chain;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    lst_[static_cast<std::size_t>(i)] = horizon_ - down[static_cast<std::size_t>(i)];
+    COHLS_ASSERT(est_[static_cast<std::size_t>(i)] <=
+                     lst_[static_cast<std::size_t>(i)] + 1e-9,
+                 "time-window propagation left an empty start window");
+    model_.lp().set_bounds(start_var(i), est_[static_cast<std::size_t>(i)],
+                           lst_[static_cast<std::size_t>(i)]);
+  }
 }
 
 // Constraints (1)-(4), gated on a `used` indicator so an untouched slot
@@ -257,6 +395,30 @@ void IlpLayerModel::add_binding_consistency() {
                               var_name("bind_accessory", i, j * 100 + acc));
       }
     }
+
+    // Recovery pins: the operation is already running on a specific fixed
+    // device, so its binding row collapses to a constant. Fixing the
+    // binaries outright (rather than adding rows) lets presolve drop them
+    // and keeps the residual model small.
+    const auto pin = inputs_.pinned.find(inputs_.ops[static_cast<std::size_t>(i)]);
+    if (pin != inputs_.pinned.end()) {
+      int pinned_device = -1;
+      for (std::size_t f = 0; f < fixed_ids_.size(); ++f) {
+        if (fixed_ids_[f] == pin->second) {
+          pinned_device = static_cast<int>(f);
+          break;
+        }
+      }
+      COHLS_EXPECT(pinned_device >= 0,
+                   "a pinned operation's device must be a fixed device of the layer");
+      COHLS_EXPECT(
+          model::is_compatible(op, *device_config_[static_cast<std::size_t>(pinned_device)]),
+          "a pinned operation must be compatible with its pinned device");
+      for (int j = 0; j < device_count(); ++j) {
+        const double fixed = j == pinned_device ? 1.0 : 0.0;
+        model_.lp().set_bounds(binding_var(i, j), fixed, fixed);
+      }
+    }
   }
 }
 
@@ -285,6 +447,7 @@ void IlpLayerModel::add_dependencies() {
         // same = sum_j z_j with z_j <= o_d[p][j], z_j <= o_d[c][j].
         const lp::Col same = model_.add_variable(milp::VarKind::Continuous, 0.0, 1.0, 0.0,
                                                  var_name("same", p, c));
+        DepVars dep{p, c, same, {}};
         std::vector<lp::Term> same_sum{{same, 1.0}};
         for (int j = 0; j < device_count(); ++j) {
           const lp::Col z = model_.add_variable(milp::VarKind::Continuous, 0.0, 1.0, 0.0,
@@ -294,7 +457,9 @@ void IlpLayerModel::add_dependencies() {
           model_.add_constraint({{z, 1.0}, {binding_var(c, j), -1.0}},
                                 lp::RowSense::LessEqual, 0.0);
           same_sum.emplace_back(z, -1.0);
+          dep.z.push_back(z);
         }
+        dep_vars_.push_back(std::move(dep));
         model_.add_constraint(std::move(same_sum), lp::RowSense::LessEqual, 0.0,
                               var_name("same_def", p, c));
         // st_c - st_p - t*same >= dur_p + t ... rearranged:
@@ -334,24 +499,38 @@ void IlpLayerModel::add_dependencies() {
 
 // Constraints (10)-(13). Occupation of an operation includes its
 // conservative outgoing-transport reserve, matching the heuristic engine.
+// Two tightenings over the paper's literal formulation: the big-M constants
+// are per-pair (from the start windows, not the global horizon), and q
+// binaries the dependency structure or the windows already decide are fixed
+// outright — both shrink the LP-relaxation gap that made the root bound
+// near-useless on the Table-2 layer instances.
 void IlpLayerModel::add_conflicts() {
   const int n = static_cast<int>(inputs_.ops.size());
   for (int a = 0; a < n; ++a) {
     for (int b = a + 1; b < n; ++b) {
       const OperationId id_a = inputs_.ops[static_cast<std::size_t>(a)];
       const OperationId id_b = inputs_.ops[static_cast<std::size_t>(b)];
-      const double occ_a = static_cast<double>(
-          (assay_.operation(id_a).duration() + outgoing_reserve(id_a)).count());
-      const double occ_b = static_cast<double>(
-          (assay_.operation(id_b).duration() + outgoing_reserve(id_b)).count());
+      const double dur_a = static_cast<double>(assay_.operation(id_a).duration().count());
+      const double dur_b = static_cast<double>(assay_.operation(id_b).duration().count());
+      const double occ_a = occupation(a);
+      const double occ_b = occupation(b);
+      const double est_a = est_[static_cast<std::size_t>(a)];
+      const double est_b = est_[static_cast<std::size_t>(b)];
+      const double lst_a = lst_[static_cast<std::size_t>(a)];
+      const double lst_b = lst_[static_cast<std::size_t>(b)];
       const lp::Col q0 = model_.add_binary(0.0, var_name("q0", a, b));
       const lp::Col q1 = model_.add_binary(0.0, var_name("q1", a, b));
       const lp::Col q2 = model_.add_binary(0.0, var_name("q2", a, b));
-      // (10): q0 = 0 forces a to start after b's occupation ends.
-      model_.add_constraint({{start_var(a), 1.0}, {q0, big_m_}, {start_var(b), -1.0}},
+      // (10): q0 = 0 forces a to start after b's occupation ends. At q0 = 1
+      // the row must hold for every feasible start pair, which needs exactly
+      // M0 >= occ_b + lst_b - est_a.
+      const double m0 = std::max(0.0, occ_b + lst_b - est_a);
+      model_.add_constraint({{start_var(a), 1.0}, {q0, m0}, {start_var(b), -1.0}},
                             lp::RowSense::GreaterEqual, occ_b, var_name("cfl10", a, b));
-      // (11): q1 = 0 forces a's occupation to end before b starts.
-      model_.add_constraint({{start_var(a), 1.0}, {q1, -big_m_}, {start_var(b), -1.0}},
+      // (11): q1 = 0 forces a's occupation to end before b starts; vacuity
+      // at q1 = 1 needs M1 >= occ_a + lst_a - est_b.
+      const double m1 = std::max(0.0, occ_a + lst_a - est_b);
+      model_.add_constraint({{start_var(a), 1.0}, {q1, -m1}, {start_var(b), -1.0}},
                             lp::RowSense::LessEqual, -occ_a, var_name("cfl11", a, b));
       // (12): q2 = 0 forces distinct devices.
       for (int j = 0; j < device_count(); ++j) {
@@ -362,7 +541,87 @@ void IlpLayerModel::add_conflicts() {
       // (13): at least one of the three must be zero.
       model_.add_constraint({{q0, 1.0}, {q1, 1.0}, {q2, 1.0}}, lp::RowSense::LessEqual,
                             2.0, var_name("cfl13", a, b));
+
+      // Structural fixings: "a after b" is impossible when a precedes b or
+      // the windows leave no room for it, so q0 = 1 — symmetrically for q1.
+      // When both orders are impossible the occupations always overlap and
+      // (13) forces distinct devices: q2 = 0.
+      const bool a_after_b_impossible =
+          (precedes(a, b) && dur_a + occ_b > 0.0) || lst_a < est_b + occ_b - 1e-9;
+      const bool a_before_b_impossible =
+          (precedes(b, a) && dur_b + occ_a > 0.0) || lst_b < est_a + occ_a - 1e-9;
+      if (a_after_b_impossible) {
+        model_.lp().set_bounds(q0, 1.0, 1.0);
+      }
+      if (a_before_b_impossible) {
+        model_.lp().set_bounds(q1, 1.0, 1.0);
+      }
+      if (a_after_b_impossible && a_before_b_impossible) {
+        model_.lp().set_bounds(q2, 0.0, 0.0);
+      }
+      conflict_vars_.emplace(std::make_pair(a, b), std::array<lp::Col, 3>{q0, q1, q2});
     }
+  }
+}
+
+// LP-strengthening cuts the disjunction alone cannot express:
+//   - clique cuts: operations whose windows force pairwise overlap must sit
+//     on pairwise-distinct devices; for a clique of three or more, the sum
+//     of their binding binaries per device is at most one (the pairwise (12)
+//     rows only give fractional strength 1/2 each);
+//   - device-capacity cuts: occupations on one device are disjoint and end
+//     by makespan + reserve, so their total length bounds the makespan from
+//     below per device.
+void IlpLayerModel::add_clique_cuts() {
+  const int n = static_cast<int>(inputs_.ops.size());
+
+  std::set<std::vector<int>> cliques;
+  for (int seed = 0; seed < n; ++seed) {
+    std::vector<int> members{seed};
+    for (int next = 0; next < n; ++next) {
+      if (next == seed) {
+        continue;
+      }
+      const bool overlaps_all =
+          std::all_of(members.begin(), members.end(), [&](int m) {
+            return must_overlap(std::min(m, next), std::max(m, next));
+          });
+      if (overlaps_all) {
+        members.push_back(next);
+      }
+    }
+    if (members.size() >= 3) {
+      std::sort(members.begin(), members.end());
+      cliques.insert(std::move(members));
+    }
+  }
+  int clique_index = 0;
+  for (const std::vector<int>& clique : cliques) {
+    for (int j = 0; j < device_count(); ++j) {
+      std::vector<lp::Term> terms;
+      for (const int i : clique) {
+        terms.emplace_back(binding_var(i, j), 1.0);
+      }
+      model_.add_constraint(std::move(terms), lp::RowSense::LessEqual, 1.0,
+                            var_name("clique", clique_index, j));
+    }
+    ++clique_index;
+  }
+
+  double max_reserve = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double dur = static_cast<double>(
+        assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]).duration().count());
+    max_reserve = std::max(max_reserve, occupation(i) - dur);
+  }
+  for (int j = 0; j < device_count(); ++j) {
+    std::vector<lp::Term> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.emplace_back(binding_var(i, j), occupation(i));
+    }
+    terms.emplace_back(makespan_, -1.0);
+    model_.add_constraint(std::move(terms), lp::RowSense::LessEqual, max_reserve,
+                          var_name("devcap", j));
   }
 }
 
@@ -425,9 +684,9 @@ void IlpLayerModel::add_objective_sums() {
     // cost_j >= C_a * area + C_pr * processing of the chosen configuration,
     // expressed through an epigraph variable with objective coefficient 1
     // (minimization pins it to the configuration cost).
-    const lp::Col cost = model_.add_variable(milp::VarKind::Continuous, 0.0,
-                                             lp::kInfinity, 1.0, var_name("slotcost", j));
-    std::vector<lp::Term> defn{{cost, 1.0}};
+    vars.cost = model_.add_variable(milp::VarKind::Continuous, 0.0,
+                                    lp::kInfinity, 1.0, var_name("slotcost", j));
+    std::vector<lp::Term> defn{{vars.cost, 1.0}};
     for (const model::Capacity cap : model::kAllCapacities) {
       const double chamber_part =
           costs_.weight_area() * costs_.area(model::ContainerKind::Chamber, cap) +
@@ -515,6 +774,298 @@ void IlpLayerModel::add_objective_sums() {
       }
     }
   }
+}
+
+double IlpLayerModel::min_new_slot_cost(const model::Operation& op) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const model::DeviceConfig& config : model::admissible_configs(op)) {
+    best = std::min(best,
+                    costs_.weight_area() * model::device_area(config, costs_) +
+                        costs_.weight_processing() *
+                            model::device_processing(config, costs_, assay_.registry()));
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+// Configuration-cost floors the epigraph rows (16)-(20) only enforce at
+// integral configuration binaries: an operation bound to a new slot forces
+// that slot's cost to at least its cheapest compatible configuration. For
+// the indeterminate set the parallel-device rule admits at most one member
+// per slot, so their floors sum within one row — which is what lifts the
+// root LP of cost-dominated all-indeterminate layers from the critical path
+// to (near-)exact. Every other operation gets a singleton floor row.
+void IlpLayerModel::add_cost_floor_cuts() {
+  const int n = static_cast<int>(inputs_.ops.size());
+  std::vector<double> floor_cost(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> indeterminate(static_cast<std::size_t>(n), false);
+  bool any_indeterminate = false;
+  for (int i = 0; i < n; ++i) {
+    const model::Operation& op = assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]);
+    floor_cost[static_cast<std::size_t>(i)] = min_new_slot_cost(op);
+    indeterminate[static_cast<std::size_t>(i)] = op.indeterminate();
+    any_indeterminate = any_indeterminate || op.indeterminate();
+  }
+
+  int slot = 0;
+  for (int j = 0; j < device_count(); ++j) {
+    if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
+      continue;
+    }
+    const NewSlotVars& vars = new_slot_vars_[static_cast<std::size_t>(slot++)];
+    if (any_indeterminate) {
+      std::vector<lp::Term> agg{{vars.cost, 1.0}};
+      for (int i = 0; i < n; ++i) {
+        if (indeterminate[static_cast<std::size_t>(i)] &&
+            floor_cost[static_cast<std::size_t>(i)] > 0.0) {
+          agg.emplace_back(binding_var(i, j), -floor_cost[static_cast<std::size_t>(i)]);
+        }
+      }
+      if (agg.size() > 1) {
+        model_.add_constraint(std::move(agg), lp::RowSense::GreaterEqual, 0.0,
+                              var_name("costfloor_ind", j));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (indeterminate[static_cast<std::size_t>(i)] ||
+          floor_cost[static_cast<std::size_t>(i)] <= 0.0) {
+        continue;
+      }
+      model_.add_constraint(
+          {{vars.cost, 1.0}, {binding_var(i, j), -floor_cost[static_cast<std::size_t>(i)]}},
+          lp::RowSense::GreaterEqual, 0.0, var_name("costfloor", i, j));
+    }
+  }
+}
+
+std::shared_ptr<const milp::NodeBoundProvider> IlpLayerModel::bound_provider() const {
+  if (device_count() > 31) {
+    return nullptr;  // SchedulingBounds packs device sets into an unsigned
+  }
+  milp::SchedulingBounds::Config config;
+  const int n = static_cast<int>(inputs_.ops.size());
+  for (int i = 0; i < n; ++i) {
+    milp::SchedulingBounds::Task task;
+    task.start = start_[static_cast<std::size_t>(i)];
+    task.occupation = occupation(i);
+    task.duration = static_cast<double>(
+        assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]).duration().count());
+    task.binding = binding_[static_cast<std::size_t>(i)];
+    config.tasks.push_back(std::move(task));
+  }
+  config.makespan = makespan_;
+  config.makespan_weight = costs_.weight_time();
+  for (const SlotKind kind : device_kind_) {
+    (kind == SlotKind::New ? config.new_devices : config.free_devices) += 1;
+  }
+  if (config.new_devices > 0) {
+    // The cheapest configuration any used new slot can take (accessories
+    // only add cost).
+    double min_cost = std::numeric_limits<double>::infinity();
+    for (const model::ContainerKind container :
+         {model::ContainerKind::Ring, model::ContainerKind::Chamber}) {
+      for (const model::Capacity cap : model::kAllCapacities) {
+        if (!model::capacity_allowed(container, cap)) {
+          continue;
+        }
+        min_cost = std::min(
+            min_cost, costs_.weight_area() * costs_.area(container, cap) +
+                          costs_.weight_processing() *
+                              costs_.container_processing(container, cap));
+      }
+    }
+    config.min_new_device_cost = min_cost;
+    // The slot-cost epigraph columns are the objective's payment for new
+    // devices; the provider charges min_new_device_cost per used slot
+    // instead, so it must not also count their box bounds.
+    for (const NewSlotVars& vars : new_slot_vars_) {
+      config.new_device_cols.push_back(vars.cost);
+    }
+  }
+  // Task-level refinement: each operation's cheapest compatible new-slot
+  // configuration, the indeterminate set (pairwise-distinct devices), and
+  // which slots cost nothing — the provider sums the distinct tasks' floors.
+  for (int i = 0; i < n; ++i) {
+    const model::Operation& op = assay_.operation(inputs_.ops[static_cast<std::size_t>(i)]);
+    config.task_new_cost.push_back(min_new_slot_cost(op));
+    if (op.indeterminate()) {
+      config.distinct_tasks.push_back(i);
+    }
+  }
+  for (int j = 0; j < device_count(); ++j) {
+    if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
+      config.free_slot_mask |= 1u << j;
+    }
+  }
+  config.objective.resize(static_cast<std::size_t>(model_.variable_count()));
+  for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+    config.objective[static_cast<std::size_t>(c)] = model_.lp().objective_coefficient(c);
+  }
+  return std::make_shared<milp::SchedulingBounds>(std::move(config));
+}
+
+std::vector<double> IlpLayerModel::encode(const schedule::LayerResult& result,
+                                          const model::DeviceInventory& inventory) const {
+  const int n = static_cast<int>(inputs_.ops.size());
+  if (static_cast<int>(result.schedule.items.size()) != n) {
+    return {};
+  }
+  std::vector<double> x(static_cast<std::size_t>(model_.variable_count()), 0.0);
+
+  // Map every scheduled device id onto a visible slot: fixed devices by id,
+  // heuristic-instantiated devices onto a hint slot with the identical
+  // configuration first (the model charges those nothing, like the
+  // heuristic's hint accounting), then onto a free new slot.
+  std::map<DeviceId, int> slot_of;
+  std::map<int, model::DeviceConfig> slot_config;
+  for (std::size_t f = 0; f < fixed_ids_.size(); ++f) {
+    slot_of[fixed_ids_[f]] = static_cast<int>(f);
+  }
+  std::vector<bool> taken(static_cast<std::size_t>(device_count()), false);
+  for (const auto& item : result.schedule.items) {
+    if (slot_of.count(item.device)) {
+      continue;
+    }
+    const model::DeviceConfig config = inventory.device(item.device).config;
+    int chosen = -1;
+    for (int j = 0; j < device_count() && chosen < 0; ++j) {
+      if (device_kind_[static_cast<std::size_t>(j)] == SlotKind::Hint &&
+          !taken[static_cast<std::size_t>(j)] &&
+          *device_config_[static_cast<std::size_t>(j)] == config) {
+        chosen = j;
+      }
+    }
+    for (int j = 0; j < device_count() && chosen < 0; ++j) {
+      if (device_kind_[static_cast<std::size_t>(j)] == SlotKind::New &&
+          !taken[static_cast<std::size_t>(j)]) {
+        chosen = j;
+      }
+    }
+    if (chosen < 0) {
+      return {};  // more heuristic devices than the model has slots
+    }
+    taken[static_cast<std::size_t>(chosen)] = true;
+    slot_of[item.device] = chosen;
+    slot_config.emplace(chosen, config);
+  }
+
+  // Bindings, starts, makespan.
+  std::vector<int> device_of(static_cast<std::size_t>(n), -1);
+  double makespan = 0.0;
+  for (const auto& item : result.schedule.items) {
+    const int i = op_index(item.op);
+    const int j = slot_of.at(item.device);
+    device_of[static_cast<std::size_t>(i)] = j;
+    x[static_cast<std::size_t>(binding_var(i, j))] = 1.0;
+    x[static_cast<std::size_t>(start_var(i))] = static_cast<double>(item.start.count());
+    makespan = std::max(makespan,
+                        static_cast<double>((item.start + item.duration).count()));
+  }
+  if (makespan > horizon_ + 1e-9) {
+    return {};
+  }
+  x[static_cast<std::size_t>(makespan_)] = makespan;
+
+  // Configuration variables of the new slots actually used.
+  int slot = 0;
+  for (int j = 0; j < device_count(); ++j) {
+    if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
+      continue;
+    }
+    const NewSlotVars& vars = new_slot_vars_[static_cast<std::size_t>(slot++)];
+    const auto cfg = slot_config.find(j);
+    if (cfg == slot_config.end()) {
+      continue;  // unused slot: all zeros
+    }
+    const model::DeviceConfig& config = cfg->second;
+    const bool ring = config.container == model::ContainerKind::Ring;
+    x[static_cast<std::size_t>(vars.used)] = 1.0;
+    x[static_cast<std::size_t>(ring ? vars.ring : vars.chamber)] = 1.0;
+    x[static_cast<std::size_t>(vars.capacity[static_cast<std::size_t>(config.capacity)])] =
+        1.0;
+    if (ring) {
+      x[static_cast<std::size_t>(
+          vars.ring_extra[static_cast<std::size_t>(config.capacity)])] = 1.0;
+    }
+    double cost =
+        costs_.weight_area() * costs_.area(config.container, config.capacity) +
+        costs_.weight_processing() *
+            costs_.container_processing(config.container, config.capacity);
+    // Accessories outside the model's relevant set only add cost; dropping
+    // them keeps the point feasible (no operation requires them).
+    for (const auto& [acc, col] : vars.accessories) {
+      if (config.accessories.contains(acc)) {
+        x[static_cast<std::size_t>(col)] = 1.0;
+        cost += costs_.weight_processing() * assay_.registry().processing_cost(acc);
+      }
+    }
+    x[static_cast<std::size_t>(vars.cost)] = cost;
+  }
+
+  // Same-device linearizations of transported dependencies. The z / same
+  // columns are only bounded from ABOVE (z <= o_p, z <= o_c, same <= sum z)
+  // and the dep rows charge the transport term regardless of co-location
+  // (the occupation reserve spans the outgoing transport, so a realized
+  // schedule never starts a same-device child earlier than st_p + dur_p + t
+  // either). Zero is therefore always feasible, while sum_j min(o_p, o_c)
+  // can overshoot a dep row at the realized start times.
+  for (const DepVars& dep : dep_vars_) {
+    for (int j = 0; j < device_count(); ++j) {
+      x[static_cast<std::size_t>(dep.z[static_cast<std::size_t>(j)])] = 0.0;
+    }
+    x[static_cast<std::size_t>(dep.same)] = 0.0;
+  }
+
+  // Conflict disjunction binaries from the realized schedule.
+  for (const auto& [pair, q] : conflict_vars_) {
+    const int a = pair.first;
+    const int b = pair.second;
+    const double st_a = x[static_cast<std::size_t>(start_var(a))];
+    const double st_b = x[static_cast<std::size_t>(start_var(b))];
+    const double q0 = st_a - st_b >= occupation(b) - 1e-9 ? 0.0 : 1.0;
+    const double q1 = st_b - st_a >= occupation(a) - 1e-9 ? 0.0 : 1.0;
+    const double q2 = device_of[static_cast<std::size_t>(a)] ==
+                              device_of[static_cast<std::size_t>(b)]
+                          ? 1.0
+                          : 0.0;
+    if (q0 + q1 + q2 > 2.5) {
+      return {};  // occupations overlap on one device; not encodable
+    }
+    x[static_cast<std::size_t>(q[0])] = q0;
+    x[static_cast<std::size_t>(q[1])] = q1;
+    x[static_cast<std::size_t>(q[2])] = q2;
+  }
+
+  // Paths the realized binding uses.
+  const auto use_path = [&](int j1, int j2) {
+    const auto key = j1 < j2 ? std::make_pair(j1, j2) : std::make_pair(j2, j1);
+    const auto it = path_vars_.find(key);
+    if (it != path_vars_.end()) {
+      x[static_cast<std::size_t>(it->second)] = 1.0;
+    }
+  };
+  for (const OperationId child_id : inputs_.ops) {
+    const int c = op_index(child_id);
+    for (const OperationId parent_id : assay_.operation(child_id).parents()) {
+      if (in_layer_.count(parent_id)) {
+        const int p = op_index(parent_id);
+        if (device_of[static_cast<std::size_t>(p)] != device_of[static_cast<std::size_t>(c)]) {
+          use_path(device_of[static_cast<std::size_t>(p)],
+                   device_of[static_cast<std::size_t>(c)]);
+        }
+      } else {
+        const auto prior = inputs_.prior_binding.find(parent_id);
+        if (prior == inputs_.prior_binding.end()) {
+          continue;
+        }
+        const auto parent_slot = slot_of.find(prior->second);
+        if (parent_slot != slot_of.end() &&
+            parent_slot->second != device_of[static_cast<std::size_t>(c)]) {
+          use_path(parent_slot->second, device_of[static_cast<std::size_t>(c)]);
+        }
+      }
+    }
+  }
+  return x;
 }
 
 schedule::LayerResult IlpLayerModel::decode(const std::vector<double>& solution,

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -29,8 +30,13 @@
 #include "milp/model.hpp"
 #include "model/assay.hpp"
 #include "model/cost_model.hpp"
+#include "model/device.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "schedule/transport_plan.hpp"
+
+namespace cohls::milp {
+class NodeBoundProvider;
+}  // namespace cohls::milp
 
 namespace cohls::core {
 
@@ -47,6 +53,13 @@ struct IlpLayerInputs {
   std::map<OperationId, DeviceId> prior_binding;
   /// Paths already integrated (re-using them costs nothing).
   std::set<schedule::DevicePath> existing_paths;
+  /// Operations forced onto a specific fixed device (recovery re-synthesis
+  /// pins in-flight operations to the device already running them). Every
+  /// pinned device must appear in `fixed_devices` and be compatible with
+  /// the pinned operation; the model fixes the binding binaries outright so
+  /// the residual layer solves exactly instead of falling back to the
+  /// heuristic.
+  std::map<OperationId, DeviceId> pinned;
 };
 
 class IlpLayerModel {
@@ -61,6 +74,21 @@ class IlpLayerModel {
   /// hint keys).
   [[nodiscard]] schedule::LayerResult decode(const std::vector<double>& solution,
                                              model::DeviceInventory& inventory) const;
+
+  /// A combinatorial node-bound provider over this model's scheduling
+  /// structure (Fernandez-style device-conflict intervals plus device
+  /// counting), for milp::MilpOptions::bounds. The provider holds no
+  /// reference back to this object and may outlive it.
+  [[nodiscard]] std::shared_ptr<const milp::NodeBoundProvider> bound_provider() const;
+
+  /// Encodes a heuristic layer result as a full assignment of this model's
+  /// variables, for milp::MilpOptions::warm_start. `inventory` must be the
+  /// inventory the heuristic scheduled against (it resolves the result's
+  /// device ids to configurations). Returns an empty vector when the result
+  /// does not map onto the model's device slots; the caller should then
+  /// simply not seed a warm start.
+  [[nodiscard]] std::vector<double> encode(const schedule::LayerResult& result,
+                                           const model::DeviceInventory& inventory) const;
 
   // --- variable accessors (exposed for white-box tests) -------------------
   [[nodiscard]] int device_count() const { return static_cast<int>(device_kind_.size()); }
@@ -78,19 +106,41 @@ class IlpLayerModel {
     std::array<lp::Col, 4> capacity;       // by model::Capacity index
     std::map<model::AccessoryId, lp::Col> accessories;
     std::array<lp::Col, 4> ring_extra;     // w: ring AND capacity products
+    lp::Col cost = -1;                     // slotcost epigraph variable
+  };
+
+  /// Linearization variables of one in-layer dependency with transport.
+  struct DepVars {
+    int parent;
+    int child;
+    lp::Col same;
+    std::vector<lp::Col> z;  // per device
   };
 
   void build();
   void add_device_configuration();      // (1)-(4)
   void add_binding_consistency();       // (5)-(8)
   void add_dependencies();              // (9)
-  void add_conflicts();                 // (10)-(13)
+  void add_conflicts();                 // (10)-(13), per-pair big-M
   void add_indeterminate_rules();       // (14) + parallel-device rule
   void add_objective_sums();            // (15)-(21)
+  void tighten_time_windows();          // per-op [est, lst] start bounds
+  void add_clique_cuts();               // must-overlap cliques + device capacity
+  void add_cost_floor_cuts();           // per-op configuration cost floors
 
   [[nodiscard]] int op_index(OperationId id) const;
   [[nodiscard]] Minutes outgoing_reserve(OperationId id) const;
   [[nodiscard]] bool device_compatible(const model::Operation& op, int device_index) const;
+  /// Cost of the cheapest new-slot configuration that can execute `op`
+  /// (container/capacity/accessory requirements honoured); 0 when no
+  /// configuration is compatible (the op then never binds a new slot).
+  [[nodiscard]] double min_new_slot_cost(const model::Operation& op) const;
+  [[nodiscard]] double occupation(int op_index) const;
+  /// True when a directed in-layer dependency path leads from `a` to `b`.
+  [[nodiscard]] bool precedes(int a, int b) const;
+  /// True when the start windows force the two occupations to overlap in
+  /// every feasible schedule (the pair can never be separated in time).
+  [[nodiscard]] bool must_overlap(int a, int b) const;
 
   const model::Assay& assay_;
   IlpLayerInputs inputs_;
@@ -114,6 +164,19 @@ class IlpLayerModel {
   std::map<std::pair<int, int>, lp::Col> path_vars_;
   std::map<OperationId, int> op_index_;
   std::set<OperationId> in_layer_;
+
+  /// Tightened start windows (set by tighten_time_windows, mirrored in the
+  /// start_ column bounds): est_ from longest in-layer predecessor chains
+  /// and cross-layer arrivals, lst_ from successor chains against horizon_.
+  std::vector<double> est_;
+  std::vector<double> lst_;
+  /// In-layer precedence closure: reach_[a] holds b iff a's output
+  /// (transitively) feeds b within the layer.
+  std::vector<std::set<int>> reach_;
+  /// Conflict disjunction binaries {q0, q1, q2} per ordered pair a < b.
+  std::map<std::pair<int, int>, std::array<lp::Col, 3>> conflict_vars_;
+  /// Same-device linearizations of in-layer dependencies with transport.
+  std::vector<DepVars> dep_vars_;
 };
 
 }  // namespace cohls::core

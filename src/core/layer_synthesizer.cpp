@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "milp/branch_and_bound.hpp"
+#include "model/compatibility.hpp"
 
 namespace cohls::core {
 
@@ -61,7 +62,9 @@ double layer_score(const schedule::LayerResult& result,
 
 namespace {
 
-bool ilp_applicable(const schedule::LayerRequest& request, const EngineOptions& engine) {
+bool ilp_applicable(const schedule::LayerRequest& request, const model::Assay& assay,
+                    const EngineOptions& engine,
+                    const model::DeviceInventory& inventory) {
   if (!engine.enable_ilp) {
     return false;
   }
@@ -74,10 +77,21 @@ bool ilp_applicable(const schedule::LayerRequest& request, const EngineOptions& 
   if (devices > engine.ilp_max_devices) {
     return false;
   }
+  // Recovery pins (forced bindings of in-flight operations) have an exact
+  // ILP form — fixed binding rows — as long as every pinned device is among
+  // the layer's usable devices and can actually run the pinned operation.
+  for (const auto& [op, device] : request.pinned) {
+    if (std::find(request.usable_devices.begin(), request.usable_devices.end(),
+                  device) == request.usable_devices.end()) {
+      return false;
+    }
+    if (!model::is_compatible(assay.operation(op), inventory.device(device).config)) {
+      return false;
+    }
+  }
   // The ILP expresses the component-oriented binding rule (6)-(8); custom
-  // binding predicates (the conventional baseline) have no ILP form here,
-  // and neither do recovery pins (forced bindings of in-flight operations).
-  return !request.binds && !request.new_config && request.pinned.empty();
+  // binding predicates (the conventional baseline) have no ILP form here.
+  return !request.binds && !request.new_config;
 }
 
 void copy_milp_stats(LayerOutcome& outcome, const milp::MilpSolution& solution) {
@@ -92,6 +106,10 @@ void copy_milp_stats(LayerOutcome& outcome, const milp::MilpSolution& solution) 
   outcome.milp_incumbent_updates = solution.incumbent_updates;
   outcome.milp_incumbent_races = solution.incumbent_races;
   outcome.milp_idle_seconds = solution.worker_idle_seconds;
+  outcome.milp_bound_prunes = solution.bound_prunes;
+  outcome.milp_cutoff_prunes = solution.cutoff_prunes;
+  outcome.milp_dive_lp_solves = solution.dive_lp_solves;
+  outcome.milp_dive_found_incumbent = solution.dive_found_incumbent;
 }
 
 }  // namespace
@@ -107,7 +125,7 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
   heuristic.result = schedule_layer(request, assay, transport, costs, heuristic.inventory);
   heuristic.score = layer_score(heuristic.result, heuristic.inventory, request, assay, costs);
 
-  if (!ilp_applicable(request, engine)) {
+  if (!ilp_applicable(request, assay, engine, inventory)) {
     return heuristic;
   }
 
@@ -125,10 +143,22 @@ LayerOutcome synthesize_layer(const schedule::LayerRequest& request,
           : 0;
   inputs.prior_binding = request.prior_binding;
   inputs.existing_paths = request.existing_paths;
+  inputs.pinned = request.pinned;
 
   try {
     const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
-    const auto solution = milp::solve_milp(ilp.model(), engine.milp);
+    milp::MilpOptions options = engine.milp;
+    // Bound-driven search: combinatorial node bounds over the scheduling
+    // structure, and the heuristic result as the initial incumbent every
+    // worker prunes against from node 1.
+    options.bounds = ilp.bound_provider();
+    if (!options.warm_start.has_value()) {
+      std::vector<double> seed = ilp.encode(heuristic.result, heuristic.inventory);
+      if (!seed.empty()) {
+        options.warm_start = std::move(seed);
+      }
+    }
+    const auto solution = milp::solve_milp(ilp.model(), options);
     copy_milp_stats(heuristic, solution);
     if (solution.status != milp::MilpStatus::Optimal &&
         solution.status != milp::MilpStatus::Feasible) {

@@ -35,6 +35,14 @@ struct LayerOutcome {
   long milp_incumbent_updates = 0;
   long milp_incumbent_races = 0;
   double milp_idle_seconds = 0.0;
+  /// Bound-driven search summary: nodes pruned by the combinatorial bound
+  /// before any LP solve, nodes pruned by the LP dual objective-cutoff, LP
+  /// re-solves spent in the root dive, and whether the dive installed the
+  /// first incumbent.
+  long milp_bound_prunes = 0;
+  long milp_cutoff_prunes = 0;
+  long milp_dive_lp_solves = 0;
+  bool milp_dive_found_incumbent = false;
   /// The MILP stopped on a cancellation token rather than on exhaustion or
   /// a budget. The outcome (the heuristic fallback) is still usable, but it
   /// must not be cached: a fresh solve could return something better.

@@ -55,6 +55,11 @@ struct LayerSolveEvent {
   long milp_incumbent_updates = 0;
   long milp_incumbent_races = 0;
   double milp_idle_seconds = 0.0;
+  /// Bound-driven search summary (see LayerOutcome).
+  long milp_bound_prunes = 0;
+  long milp_cutoff_prunes = 0;
+  long milp_dive_lp_solves = 0;
+  bool milp_dive_found_incumbent = false;
   /// Wall time of the solve (or of the cache lookup, when it hit).
   double seconds = 0.0;
 };

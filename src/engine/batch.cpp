@@ -39,6 +39,10 @@ class MetricsObserver final : public core::SolveObserver {
         milp_steals_(metrics.counter("milp_steals")),
         milp_incumbent_updates_(metrics.counter("milp_incumbent_updates")),
         milp_incumbent_races_(metrics.counter("milp_incumbent_races")),
+        milp_bound_prunes_(metrics.counter("milp_bound_prunes")),
+        milp_cutoff_prunes_(metrics.counter("milp_cutoff_prunes")),
+        milp_dive_lp_solves_(metrics.counter("milp_dive_lp_solves")),
+        milp_dive_incumbents_(metrics.counter("milp_dive_incumbents")),
         solve_seconds_(metrics.histogram("layer_solve_seconds")),
         milp_idle_seconds_(metrics.histogram("milp_worker_idle_seconds")) {}
 
@@ -63,6 +67,12 @@ class MetricsObserver final : public core::SolveObserver {
       milp_incumbent_races_.add(event.milp_incumbent_races);
       milp_idle_seconds_.observe(event.milp_idle_seconds);
     }
+    milp_bound_prunes_.add(event.milp_bound_prunes);
+    milp_cutoff_prunes_.add(event.milp_cutoff_prunes);
+    milp_dive_lp_solves_.add(event.milp_dive_lp_solves);
+    if (event.milp_dive_found_incumbent) {
+      milp_dive_incumbents_.increment();
+    }
     solve_seconds_.observe(event.seconds);
   }
 
@@ -79,6 +89,10 @@ class MetricsObserver final : public core::SolveObserver {
   Counter& milp_steals_;
   Counter& milp_incumbent_updates_;
   Counter& milp_incumbent_races_;
+  Counter& milp_bound_prunes_;
+  Counter& milp_cutoff_prunes_;
+  Counter& milp_dive_lp_solves_;
+  Counter& milp_dive_incumbents_;
   Histogram& solve_seconds_;
   Histogram& milp_idle_seconds_;
 };

@@ -145,6 +145,8 @@ class RevisedSimplex::Impl {
     }
   }
 
+  void set_objective_cutoff(double cutoff) { cutoff_ = cutoff; }
+
   LpSolution solve() {
     begin_solve(/*warm=*/false);
     reset_to_logical_basis();
@@ -782,6 +784,19 @@ class RevisedSimplex::Impl {
         out.iterations = static_cast<int>(solve_iterations());
         return out;
       }
+      // The iterate's objective (basics at xB, nonbasics at their rests)
+      // equals the dual objective of this dual-feasible basis, which the
+      // dual simplex drives monotonically upward — so crossing the cutoff
+      // proves the LP optimum cannot beat it and the caller may prune.
+      if (cutoff_ < kInfinity) {
+        const double lower_bound = iterate_objective();
+        if (lower_bound >= cutoff_) {
+          out.status = LpStatus::CutoffReached;
+          out.objective = lower_bound;
+          out.iterations = static_cast<int>(solve_iterations());
+          return out;
+        }
+      }
       // Leaving variable: the worst primal bound violation.
       int slot = -1;
       double worst = eps_;
@@ -956,6 +971,21 @@ class RevisedSimplex::Impl {
     ++last_stats_.primal_pivots;
   }
 
+  /// Objective of the current iterate: basics at xB_, nonbasics at their
+  /// resting bounds. Identical to what finalize() reports, without
+  /// materializing the value vector.
+  [[nodiscard]] double iterate_objective() const {
+    double objective = 0.0;
+    for (Col c = 0; c < n_; ++c) {
+      const std::size_t s = static_cast<std::size_t>(c);
+      const double value = status_[s] == BasisStatus::Basic
+                               ? xB_[static_cast<std::size_t>(pos_[s])]
+                               : nonbasic_value(c);
+      objective += cost_[s] * value;
+    }
+    return objective;
+  }
+
   void finalize(LpSolution& out) const {
     out.values.assign(static_cast<std::size_t>(n_), 0.0);
     double objective = 0.0;
@@ -989,6 +1019,9 @@ class RevisedSimplex::Impl {
   const SimplexOptions options_;  ///< kept so clones inherit the configuration
   const int refactor_interval_;
   int max_iterations_;
+
+  /// Dual-solve objective cutoff; +infinity disables (see the public doc).
+  double cutoff_ = kInfinity;
 
   // Mutable per-workspace bounds (branch and bound overrides them between
   // solves); start as a copy of the shared model's originals.
@@ -1031,6 +1064,10 @@ RevisedSimplex& RevisedSimplex::operator=(RevisedSimplex&&) noexcept = default;
 
 void RevisedSimplex::set_bounds(Col c, double lower, double upper) {
   impl_->set_bounds(c, lower, upper);
+}
+
+void RevisedSimplex::set_objective_cutoff(double cutoff) {
+  impl_->set_objective_cutoff(cutoff);
 }
 
 LpSolution RevisedSimplex::solve() { return impl_->solve(); }

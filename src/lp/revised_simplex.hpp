@@ -82,6 +82,14 @@ class RevisedSimplex {
   /// (The LpModel passed to the constructor is not modified.)
   void set_bounds(Col c, double lower, double upper);
 
+  /// Objective cutoff for warm (dual) re-solves: a dual iteration whose
+  /// objective — a monotonically nondecreasing lower bound on the LP
+  /// optimum — reaches `cutoff` stops immediately with
+  /// LpStatus::CutoffReached instead of solving to optimality. Sticky until
+  /// changed; +infinity (the default, restored on clone) disables it. Cold
+  /// primal solves ignore the cutoff.
+  void set_objective_cutoff(double cutoff);
+
   /// Cold solve: bounded-variable primal simplex, phase 1 from the all-
   /// logical basis, then phase 2.
   [[nodiscard]] LpSolution solve();

@@ -14,6 +14,7 @@ std::string to_string(LpStatus status) {
     case LpStatus::Infeasible: return "Infeasible";
     case LpStatus::Unbounded: return "Unbounded";
     case LpStatus::IterationLimit: return "IterationLimit";
+    case LpStatus::CutoffReached: return "CutoffReached";
   }
   return "Unknown";
 }

@@ -19,6 +19,12 @@ enum class LpStatus {
   Infeasible,
   Unbounded,
   IterationLimit,
+  /// A dual re-solve stopped early because its objective — a monotonically
+  /// nondecreasing lower bound on the LP optimum — crossed the caller's
+  /// cutoff (RevisedSimplex::set_objective_cutoff). The reported objective
+  /// is a valid lower bound; values are not populated. For a branch-and-
+  /// bound caller this is an exact prune, not a limit.
+  CutoffReached,
 };
 
 [[nodiscard]] std::string to_string(LpStatus status);

@@ -1,0 +1,335 @@
+#include "milp/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace cohls::milp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-6;
+
+int popcount(unsigned mask) {
+  int count = 0;
+  for (; mask != 0; mask &= mask - 1) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+SchedulingBounds::SchedulingBounds(Config config) : config_(std::move(config)) {
+  device_count_ = config_.free_devices + config_.new_devices;
+  COHLS_EXPECT(device_count_ >= 1, "scheduling bounds need at least one device slot");
+  COHLS_EXPECT(device_count_ <= 31, "device masks are 32-bit");
+  for (const Task& task : config_.tasks) {
+    COHLS_EXPECT(static_cast<int>(task.binding.size()) == device_count_,
+                 "every task needs one binding column per visible device");
+    COHLS_EXPECT(task.start >= 0, "every task needs a start column");
+  }
+  pays_for_device_.assign(config_.objective.size(), false);
+  for (const lp::Col col : config_.new_device_cols) {
+    COHLS_EXPECT(col >= 0 && static_cast<std::size_t>(col) < pays_for_device_.size(),
+                 "new-device cost column out of range");
+    pays_for_device_[static_cast<std::size_t>(col)] = true;
+  }
+  COHLS_EXPECT(config_.task_new_cost.empty() ||
+                   config_.task_new_cost.size() == config_.tasks.size(),
+               "task cost floors must be per-task when given");
+  for (const int t : config_.distinct_tasks) {
+    COHLS_EXPECT(t >= 0 && static_cast<std::size_t>(t) < config_.tasks.size(),
+                 "distinct task index out of range");
+  }
+}
+
+bool SchedulingBounds::derive_windows(const std::vector<double>& lower,
+                                      const std::vector<double>& upper,
+                                      std::vector<Window>& out) const {
+  out.clear();
+  out.reserve(config_.tasks.size());
+  for (std::size_t t = 0; t < config_.tasks.size(); ++t) {
+    const Task& task = config_.tasks[t];
+    Window w;
+    w.task = static_cast<int>(t);
+    w.est = lower[static_cast<std::size_t>(task.start)];
+    w.lst = upper[static_cast<std::size_t>(task.start)];
+    if (w.lst < w.est - kEps) {
+      return false;
+    }
+    unsigned allowed = 0;
+    unsigned forced = 0;
+    for (int j = 0; j < device_count_; ++j) {
+      const lp::Col col = task.binding[static_cast<std::size_t>(j)];
+      if (col < 0) {
+        continue;  // structurally incompatible slot
+      }
+      const std::size_t c = static_cast<std::size_t>(col);
+      if (upper[c] > 0.5) {
+        allowed |= 1u << j;
+      }
+      if (lower[c] > 0.5) {
+        forced |= 1u << j;
+      }
+    }
+    // A branch that fixed a binding variable to 1 pins the task to that
+    // slot; fixing two is an inconsistent path (bind-once makes it empty).
+    if (forced != 0) {
+      allowed &= forced;
+      if (popcount(forced) > 1) {
+        return false;
+      }
+    }
+    if (allowed == 0) {
+      return false;
+    }
+    w.mask = allowed;
+    out.push_back(w);
+  }
+  return true;
+}
+
+// The Fernandez / energetic-reasoning test. For every interval [a, b) drawn
+// from the tasks' release and completion event points, the occupation mass
+// that MUST fall inside the interval — the smaller of the task's left- and
+// right-shifted overlaps — cannot exceed devices * (b - a).
+bool SchedulingBounds::intervals_feasible(const std::vector<Window>& windows,
+                                          double deadline, int devices) const {
+  std::vector<double> starts;   // event releases
+  std::vector<double> ends;     // event completions
+  std::vector<double> est(windows.size());
+  std::vector<double> lst(windows.size());
+  std::vector<double> occ(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Task& task = config_.tasks[static_cast<std::size_t>(windows[i].task)];
+    est[i] = windows[i].est;
+    lst[i] = std::min(windows[i].lst, deadline - task.duration);
+    if (lst[i] < est[i] - kEps) {
+      return false;  // the task cannot finish by the deadline
+    }
+    occ[i] = task.occupation;
+    starts.push_back(est[i]);
+    ends.push_back(lst[i] + occ[i]);
+  }
+  for (const double a : starts) {
+    for (const double b : ends) {
+      if (b <= a + kEps) {
+        continue;
+      }
+      double mandatory = 0.0;
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        const double left = est[i] + occ[i] - a;   // left-shifted tail in [a, b)
+        const double right = b - lst[i];           // right-shifted head in [a, b)
+        const double part = std::min(std::min(occ[i], b - a), std::min(left, right));
+        if (part > 0.0) {
+          mandatory += part;
+        }
+      }
+      if (mandatory > static_cast<double>(devices) * (b - a) + kEps) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double SchedulingBounds::makespan_bound(const std::vector<double>& lower,
+                                        const std::vector<double>& upper,
+                                        int devices) const {
+  std::vector<Window> windows;
+  if (!derive_windows(lower, upper, windows)) {
+    return kInf;
+  }
+  // Candidate device sets: each task's own allowed mask plus the union.
+  // Tasks whose allowed devices all lie inside a candidate mask compete for
+  // only that many slots, which is where branch-path fixings create strong
+  // bounds (several tasks pinned to one device sum their occupations).
+  std::vector<unsigned> masks;
+  unsigned all = 0;
+  for (const Window& w : windows) {
+    all |= w.mask;
+    if (std::find(masks.begin(), masks.end(), w.mask) == masks.end()) {
+      masks.push_back(w.mask);
+    }
+  }
+  if (std::find(masks.begin(), masks.end(), all) == masks.end()) {
+    masks.push_back(all);
+  }
+
+  double trivial = 0.0;
+  double horizon = 0.0;
+  for (const Window& w : windows) {
+    const double duration = config_.tasks[static_cast<std::size_t>(w.task)].duration;
+    trivial = std::max(trivial, w.est + duration);
+    horizon = std::max(horizon, w.lst + duration);
+  }
+
+  double bound = trivial;
+  std::vector<Window> group;
+  for (const unsigned mask : masks) {
+    group.clear();
+    double group_low = trivial;
+    for (const Window& w : windows) {
+      if ((w.mask & ~mask) == 0) {
+        group.push_back(w);
+      }
+    }
+    if (group.empty()) {
+      continue;
+    }
+    const int capacity = std::min(devices, popcount(mask));
+    if (capacity <= 0) {
+      return kInf;
+    }
+    // Binary search the smallest integral deadline the interval test admits.
+    long lo = static_cast<long>(std::ceil(group_low - kEps));
+    long hi = static_cast<long>(std::ceil(horizon + kEps));
+    if (!intervals_feasible(group, static_cast<double>(hi), capacity)) {
+      return kInf;  // even the loosest deadline fails: the node box is empty
+    }
+    while (lo < hi) {
+      const long mid = lo + (hi - lo) / 2;
+      if (intervals_feasible(group, static_cast<double>(mid), capacity)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    bound = std::max(bound, static_cast<double>(lo));
+  }
+  return bound;
+}
+
+int SchedulingBounds::min_devices_for_deadline(const std::vector<double>& lower,
+                                               const std::vector<double>& upper,
+                                               double deadline) const {
+  std::vector<Window> windows;
+  if (!derive_windows(lower, upper, windows)) {
+    return device_count_ + 1;
+  }
+  int lo = 1;
+  int hi = device_count_;
+  const auto feasible = [&](int m) {
+    return makespan_bound(lower, upper, m) <= deadline + kEps;
+  };
+  if (!feasible(hi)) {
+    return device_count_ + 1;
+  }
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double SchedulingBounds::objective_lower_bound(const std::vector<double>& lower,
+                                               const std::vector<double>& upper) const {
+  // Trivial box bound on every column except the makespan (whose lower bound
+  // the combinatorial reasoning below replaces) and the new-device payment
+  // columns (folded into the device-counting term as `committed` so branch
+  // fixings on them are not charged twice).
+  double base = 0.0;
+  double committed = 0.0;
+  for (std::size_t c = 0; c < config_.objective.size(); ++c) {
+    if (static_cast<lp::Col>(c) == config_.makespan) {
+      continue;
+    }
+    const double w = config_.objective[c];
+    if (w == 0.0) {
+      continue;
+    }
+    const double contribution = w > 0.0 ? w * lower[c] : w * upper[c];
+    if (!std::isfinite(contribution)) {
+      return -kInf;  // an unbounded cheap column: nothing beyond the LP bound
+    }
+    if (pays_for_device_[c]) {
+      committed += contribution;
+    } else {
+      base += contribution;
+    }
+  }
+
+  const std::size_t mk = static_cast<std::size_t>(config_.makespan);
+  const double weight = config_.makespan >= 0 ? config_.objective[mk] : 0.0;
+  const double mk_floor = config_.makespan >= 0 ? lower[mk] : 0.0;
+  const double mk_ceiling = config_.makespan >= 0 ? upper[mk] : kInf;
+
+  // Distinct-task payment floor. Every distinct task occupies its own slot,
+  // and a NEW slot hosting it pays at least the task's configuration floor.
+  // At most as many tasks as there are reachable free slots escape payment,
+  // and only tasks whose allowed mask still contains a free slot are
+  // eligible — the cheapest case for a solution is to host the most
+  // expensive eligible tasks free, so that is what we credit.
+  double distinct_floor = 0.0;
+  int distinct_count = 0;
+  if (!config_.distinct_tasks.empty()) {
+    std::vector<Window> windows;
+    if (!derive_windows(lower, upper, windows)) {
+      return kInf;  // the node box is empty
+    }
+    distinct_count = static_cast<int>(config_.distinct_tasks.size());
+    unsigned reachable_free = 0;
+    std::vector<double> eligible;
+    for (const int t : config_.distinct_tasks) {
+      const double cost =
+          config_.task_new_cost.empty() ? 0.0
+                                        : config_.task_new_cost[static_cast<std::size_t>(t)];
+      distinct_floor += cost;
+      const unsigned free_options =
+          windows[static_cast<std::size_t>(t)].mask & config_.free_slot_mask;
+      if (free_options != 0) {
+        reachable_free |= free_options;
+        eligible.push_back(cost);
+      }
+    }
+    std::sort(eligible.begin(), eligible.end(), std::greater<>());
+    const std::size_t escapes =
+        std::min(eligible.size(), static_cast<std::size_t>(popcount(reachable_free)));
+    for (std::size_t e = 0; e < escapes; ++e) {
+      distinct_floor -= eligible[e];
+    }
+  }
+  const double cost_floor = std::max(committed, distinct_floor);
+
+  // Fujita direction: a schedule that uses u devices pays for the new slots
+  // beyond the free ones — and never less than the payment the branch path
+  // already committed or the distinct tasks force — and cannot beat the
+  // u-device makespan bound. The best any solution can do is the cheapest
+  // combination over u; a u whose makespan bound overshoots the node's
+  // makespan ceiling is impossible, and so is any u below the number of
+  // pairwise-distinct tasks.
+  double best = kInf;
+  for (int u = device_count_; u >= 1; --u) {
+    if (u < distinct_count) {
+      break;  // fewer slots than pairwise-distinct tasks
+    }
+    const double mk_lb = makespan_bound(lower, upper, u);
+    if (!std::isfinite(mk_lb) || mk_lb > mk_ceiling + kEps) {
+      break;  // fewer devices only lengthen the schedule further
+    }
+    const double counted =
+        static_cast<double>(std::max(0, u - config_.free_devices)) *
+        config_.min_new_device_cost;
+    best = std::min(best,
+                    weight * std::max(mk_floor, mk_lb) + std::max(cost_floor, counted));
+    if (counted <= cost_floor) {
+      break;  // the cost term hit its floor: smaller u only raises the
+              // makespan term
+    }
+  }
+  if (!std::isfinite(best)) {
+    return kInf;  // no device count admits a schedule inside the node box
+  }
+  return base + best;
+}
+
+}  // namespace cohls::milp

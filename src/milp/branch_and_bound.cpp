@@ -16,6 +16,8 @@
 #include "lp/presolve.hpp"
 #include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
+#include "milp/bounds.hpp"
+#include "milp/dive.hpp"
 #include "util/check.hpp"
 
 namespace cohls::milp {
@@ -52,7 +54,13 @@ struct PathStep {
 struct Node {
   std::shared_ptr<const PathStep> path;    ///< bound deltas from the root
   std::shared_ptr<const lp::Basis> basis;  ///< parent's optimal basis, if any
-  double parent_bound = 0.0;  ///< LP bound of the parent, for pruning before solving
+  double parent_bound = 0.0;  ///< parent's node bound, for pruning before solving
+  // Branching metadata for pseudocost learning: which column the parent
+  // branched on to create this node, the column's fractional part at the
+  // parent's relaxation, and which side this child is.
+  lp::Col branch_col = -1;
+  double branch_frac = 0.0;
+  bool branch_up = false;
 };
 
 struct BoundUndo {
@@ -74,6 +82,21 @@ struct Workspace {
   std::vector<BoundUndo> undo_stack;
   long cold_scratch_solves = 0;
   long cold_scratch_pivots = 0;
+
+  /// ORIGINAL-space mirror of the node box, maintained alongside cur_lower /
+  /// cur_upper when a NodeBoundProvider is attached (the provider's contract
+  /// is original model space; presolve-fixed columns sit collapsed at their
+  /// fixed value). Empty when no provider is configured.
+  std::vector<double> orig_lower;
+  std::vector<double> orig_upper;
+
+  /// Per-worker pseudocost history (objective degradation per unit of
+  /// fractionality, by branching side). Worker-private so the parallel
+  /// search stays lock-free; empty unless pseudocost branching is selected.
+  std::vector<double> pc_down_sum;
+  std::vector<double> pc_up_sum;
+  std::vector<long> pc_down_count;
+  std::vector<long> pc_up_count;
 };
 
 /// Per-worker slice of the parallel search result, merged after the join.
@@ -125,6 +148,10 @@ struct SharedSearch {
   std::atomic<long> steals{0};
   std::atomic<long> incumbent_updates{0};
   std::atomic<long> incumbent_races{0};
+  std::atomic<long> bound_prunes{0};
+  std::atomic<long> cutoff_prunes{0};
+  std::atomic<long> dive_lp_solves{0};
+  std::atomic<bool> dive_found{false};
 
   /// First worker exception, rethrown on the calling thread after the join.
   std::mutex error_mutex;
@@ -184,10 +211,43 @@ class Solver {
       }
 
       ++nodes_;
+      const bool at_root = node.path == nullptr;
       apply_path(ws_, node.path);
+
+      // Combinatorial bound first: it needs no LP solve, so a near-root node
+      // it prunes costs almost nothing.
+      const double comb = combinatorial_bound(ws_);
+      if (comb == std::numeric_limits<double>::infinity()) {
+        ++bound_prunes_;
+        if (at_root) {
+          root_infeasible_proven = true;
+        }
+        undo_path(ws_);
+        continue;
+      }
+      if (has_incumbent_ && comb >= incumbent_value_ - options_.absolute_gap) {
+        ++bound_prunes_;
+        undo_path(ws_);
+        continue;
+      }
+      if (at_root) {
+        global_bound = std::max(global_bound, comb);
+      }
+
+      set_lp_cutoff(ws_, at_root,
+                    has_incumbent_ ? incumbent_value_
+                                   : std::numeric_limits<double>::infinity());
       const lp::LpSolution relax = solve_node(ws_, node);
+      if (relax.status == lp::LpStatus::CutoffReached) {
+        // The dual objective is a valid lower bound, so this is an exact
+        // prune — and still a usable pseudocost observation.
+        update_pseudocost(ws_, node, relax.objective);
+        ++cutoff_prunes_;
+        undo_path(ws_);
+        continue;
+      }
       if (relax.status == lp::LpStatus::Infeasible) {
-        if (nodes_ == 1) {
+        if (at_root) {
           root_infeasible_proven = true;
         }
         undo_path(ws_);
@@ -206,16 +266,17 @@ class Solver {
         continue;
       }
       any_lp_solved = true;
-      const double bound = relax.objective;
-      if (nodes_ == 1) {
-        global_bound = bound;
+      update_pseudocost(ws_, node, relax.objective);
+      const double bound = std::max(relax.objective, comb);
+      if (at_root) {
+        global_bound = std::max(global_bound, bound);
       }
       if (has_incumbent_ && bound >= incumbent_value_ - options_.absolute_gap) {
         undo_path(ws_);
         continue;
       }
 
-      const int branch_col = most_fractional(relax.values);
+      const int branch_col = select_branch(ws_, relax.values);
       if (branch_col < 0) {
         // Integral: new incumbent.
         offer_incumbent(relax.values);
@@ -227,22 +288,31 @@ class Solver {
       }
 
       // Children re-solve from this node's optimal basis with the dual
-      // simplex after the single branching-bound change.
+      // simplex after the single branching-bound change. Snapshot it before
+      // the root dive below re-solves (and re-bases) the workspace.
       std::shared_ptr<const lp::Basis> child_basis;
       if (use_revised_) {
         child_basis = std::make_shared<lp::Basis>(ws_.revised->basis());
       }
+      if (at_root && options_.dive && use_revised_) {
+        run_root_dive(ws_, relax, nullptr);
+        if (has_incumbent_ && bound >= incumbent_value_ - options_.absolute_gap) {
+          undo_path(ws_);
+          continue;  // the dive's incumbent already matches the root bound
+        }
+      }
       const std::size_t bc = static_cast<std::size_t>(branch_col);
       const double value = relax.values[bc];
       const double floor_value = std::floor(value);
+      const double frac = value - floor_value;
       const double down_hi = std::min(ws_.cur_upper[bc], floor_value);
       const double up_lo = std::max(ws_.cur_lower[bc], floor_value + 1.0);
       Node down{std::make_shared<PathStep>(
                     PathStep{branch_col, ws_.cur_lower[bc], down_hi, node.path}),
-                child_basis, bound};
+                child_basis, bound, branch_col, frac, false};
       Node up{std::make_shared<PathStep>(
                   PathStep{branch_col, up_lo, ws_.cur_upper[bc], node.path}),
-              child_basis, bound};
+              child_basis, bound, branch_col, frac, true};
       const bool down_viable = ws_.cur_lower[bc] <= down_hi;
       const bool up_viable = up_lo <= ws_.cur_upper[bc];
       undo_path(ws_);
@@ -262,6 +332,10 @@ class Solver {
 
     out.nodes = nodes_;
     out.cancelled = cancelled_;
+    out.bound_prunes = bound_prunes_;
+    out.cutoff_prunes = cutoff_prunes_;
+    out.dive_lp_solves = dive_lp_solves_;
+    out.dive_found_incumbent = dive_found_;
     collect_lp_stats(out);
     finish(out, exhausted, global_bound, root_infeasible_proven, any_lp_solved);
     return out;
@@ -303,6 +377,10 @@ class Solver {
     out.steals = shared.steals.load(std::memory_order_relaxed);
     out.incumbent_updates = shared.incumbent_updates.load(std::memory_order_relaxed);
     out.incumbent_races = shared.incumbent_races.load(std::memory_order_relaxed);
+    out.bound_prunes = shared.bound_prunes.load(std::memory_order_relaxed);
+    out.cutoff_prunes = shared.cutoff_prunes.load(std::memory_order_relaxed);
+    out.dive_lp_solves = shared.dive_lp_solves.load(std::memory_order_relaxed);
+    out.dive_found_incumbent = shared.dive_found.load(std::memory_order_relaxed);
     lp::SolveStats lp_total;
     for (const WorkerReport& report : reports) {
       out.worker_idle_seconds += report.idle_seconds;
@@ -390,6 +468,7 @@ class Solver {
       ws.cur_lower[static_cast<std::size_t>(c)] = reduced_.lp().lower_bound(c);
       ws.cur_upper[static_cast<std::size_t>(c)] = reduced_.lp().upper_bound(c);
     }
+    init_workspace_extras(ws);
     return ws;
   }
 
@@ -444,10 +523,38 @@ class Solver {
       return;
     }
 
+    const bool at_root = node.path == nullptr;
     apply_path(ws, node.path);
+
+    const double comb = combinatorial_bound(ws);
+    if (comb == std::numeric_limits<double>::infinity()) {
+      shared.bound_prunes.fetch_add(1, std::memory_order_relaxed);
+      if (at_root) {
+        shared.root_infeasible.store(true, std::memory_order_relaxed);
+      }
+      undo_path(ws);
+      return;
+    }
+    if (shared.has_incumbent.load(std::memory_order_acquire) &&
+        comb >= shared.best_value.load(std::memory_order_relaxed) - options_.absolute_gap) {
+      shared.bound_prunes.fetch_add(1, std::memory_order_relaxed);
+      undo_path(ws);
+      return;
+    }
+
+    set_lp_cutoff(ws, at_root,
+                  shared.has_incumbent.load(std::memory_order_acquire)
+                      ? shared.best_value.load(std::memory_order_relaxed)
+                      : std::numeric_limits<double>::infinity());
     const lp::LpSolution relax = solve_node(ws, node);
+    if (relax.status == lp::LpStatus::CutoffReached) {
+      update_pseudocost(ws, node, relax.objective);
+      shared.cutoff_prunes.fetch_add(1, std::memory_order_relaxed);
+      undo_path(ws);
+      return;
+    }
     if (relax.status == lp::LpStatus::Infeasible) {
-      if (node.path == nullptr) {
+      if (at_root) {
         shared.root_infeasible.store(true, std::memory_order_relaxed);
       }
       undo_path(ws);
@@ -460,8 +567,9 @@ class Solver {
       return;
     }
     shared.any_lp_solved.store(true, std::memory_order_relaxed);
-    const double bound = relax.objective;
-    if (node.path == nullptr) {
+    update_pseudocost(ws, node, relax.objective);
+    const double bound = std::max(relax.objective, comb);
+    if (at_root) {
       shared.root_bound.store(bound, std::memory_order_relaxed);
     }
     if (shared.has_incumbent.load(std::memory_order_acquire) &&
@@ -470,7 +578,7 @@ class Solver {
       return;
     }
 
-    const int branch_col = most_fractional(relax.values);
+    const int branch_col = select_branch(ws, relax.values);
     if (branch_col < 0) {
       offer_shared(shared, relax.values, /*tolerance=*/1e-5);
       undo_path(ws);
@@ -484,17 +592,29 @@ class Solver {
     if (use_revised_) {
       child_basis = std::make_shared<lp::Basis>(ws.revised->basis());
     }
+    if (at_root && options_.dive && use_revised_) {
+      // The root is expanded exactly once, before any child is stealable, so
+      // the dive's incumbent is in place before any teammate expands node 2.
+      run_root_dive(ws, relax, &shared);
+      if (shared.has_incumbent.load(std::memory_order_acquire) &&
+          bound >= shared.best_value.load(std::memory_order_relaxed) -
+                       options_.absolute_gap) {
+        undo_path(ws);
+        return;
+      }
+    }
     const std::size_t bc = static_cast<std::size_t>(branch_col);
     const double value = relax.values[bc];
     const double floor_value = std::floor(value);
+    const double frac = value - floor_value;
     const double down_hi = std::min(ws.cur_upper[bc], floor_value);
     const double up_lo = std::max(ws.cur_lower[bc], floor_value + 1.0);
     Node down{std::make_shared<PathStep>(
                   PathStep{branch_col, ws.cur_lower[bc], down_hi, node.path}),
-              child_basis, bound};
+              child_basis, bound, branch_col, frac, false};
     Node up{std::make_shared<PathStep>(
                 PathStep{branch_col, up_lo, ws.cur_upper[bc], node.path}),
-            child_basis, bound};
+            child_basis, bound, branch_col, frac, true};
     const bool down_viable = ws.cur_lower[bc] <= down_hi;
     const bool up_viable = up_lo <= ws.cur_upper[bc];
     undo_path(ws);
@@ -621,12 +741,61 @@ class Solver {
       ws_.cur_upper[static_cast<std::size_t>(c)] = reduced_.lp().upper_bound(c);
     }
 
+    if (options_.bounds != nullptr) {
+      orig_of_reduced_.assign(static_cast<std::size_t>(n), -1);
+      for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+        const lp::Col rc = pre_.has_value() ? pre_->reduced_column(c) : c;
+        if (rc >= 0) {
+          orig_of_reduced_[static_cast<std::size_t>(rc)] = c;
+        }
+      }
+    }
+    long integer_columns = 0;
+    for (lp::Col c = 0; c < n; ++c) {
+      if (reduced_.is_integer(c)) {
+        ++integer_columns;
+      }
+    }
+    // Two solves per dive level (fix + one backtrack flip), depth at most
+    // the integer-column count, plus slack for re-fractionalizations.
+    dive_budget_ = 2 * integer_columns + 8;
+    init_workspace_extras(ws_);
+
     if (use_revised_) {
       ws_.revised.emplace(reduced_.lp(), options_.simplex);
     } else {
       ws_.scratch = reduced_.lp();
     }
     return true;
+  }
+
+  /// Sizes the per-workspace pseudocost tables and the original-space bound
+  /// mirror a NodeBoundProvider reads. Called for the root workspace and for
+  /// every parallel worker clone.
+  void init_workspace_extras(Workspace& ws) const {
+    const std::size_t n = static_cast<std::size_t>(reduced_.variable_count());
+    if (options_.branching == BranchingRule::Pseudocost) {
+      ws.pc_down_sum.assign(n, 0.0);
+      ws.pc_up_sum.assign(n, 0.0);
+      ws.pc_down_count.assign(n, 0);
+      ws.pc_up_count.assign(n, 0);
+    }
+    if (options_.bounds != nullptr) {
+      const std::size_t on = static_cast<std::size_t>(model_.variable_count());
+      ws.orig_lower.resize(on);
+      ws.orig_upper.resize(on);
+      for (lp::Col c = 0; c < model_.variable_count(); ++c) {
+        const std::size_t cs = static_cast<std::size_t>(c);
+        if (pre_.has_value() && pre_->column_fixed(c)) {
+          ws.orig_lower[cs] = pre_->fixed_value(c);
+          ws.orig_upper[cs] = pre_->fixed_value(c);
+        } else {
+          const lp::Col rc = pre_.has_value() ? pre_->reduced_column(c) : c;
+          ws.orig_lower[cs] = reduced_.lp().lower_bound(rc);
+          ws.orig_upper[cs] = reduced_.lp().upper_bound(rc);
+        }
+      }
+    }
   }
 
   /// Maps MilpOptions::warm_start (original space) onto the reduced model.
@@ -691,6 +860,14 @@ class Solver {
     const std::size_t j = static_cast<std::size_t>(c);
     ws.cur_lower[j] = lower;
     ws.cur_upper[j] = upper;
+    if (!ws.orig_lower.empty()) {
+      // Reduced-column bounds are the original column's effective bounds
+      // (presolve only removes columns, it never rescales the survivors),
+      // so the mirror takes the same values at the mapped index.
+      const std::size_t oc = static_cast<std::size_t>(orig_of_reduced_[j]);
+      ws.orig_lower[oc] = lower;
+      ws.orig_upper[oc] = upper;
+    }
     if (use_revised_) {
       ws.revised->set_bounds(c, lower, upper);
     } else {
@@ -721,6 +898,147 @@ class Solver {
     } else {
       out.lp_pivots = ws_.cold_scratch_pivots;
       out.lp_cold_solves = ws_.cold_scratch_solves;
+    }
+  }
+
+  /// The node's combinatorial lower bound in reduced space (comparable with
+  /// incumbent_value_): the provider's original-space bound minus the
+  /// objective mass on presolve-fixed columns. -infinity when no provider is
+  /// configured; +infinity when the provider proves the node box empty.
+  double combinatorial_bound(const Workspace& ws) const {
+    if (options_.bounds == nullptr) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    const double cb = options_.bounds->objective_lower_bound(ws.orig_lower, ws.orig_upper);
+    if (cb == std::numeric_limits<double>::infinity()) {
+      return cb;
+    }
+    return cb - objective_offset_;
+  }
+
+  /// Arms the dual-simplex objective cutoff for the next warm re-solve. Only
+  /// active in bound-driven mode (a provider is attached): the cutoff skips
+  /// the pruned node's rounding-heuristic pass, which is a trajectory change
+  /// we keep out of the plain configuration. Off at the root so the root
+  /// bound is always exact.
+  void set_lp_cutoff(Workspace& ws, bool at_root, double incumbent_value) {
+    if (!use_revised_ || options_.bounds == nullptr) {
+      return;
+    }
+    const double cutoff = at_root ? std::numeric_limits<double>::infinity()
+                                  : incumbent_value - options_.absolute_gap;
+    ws.revised->set_objective_cutoff(cutoff);
+  }
+
+  /// Variable selection. Pseudocost mode scores a fractional column by the
+  /// product of its estimated up/down bound degradations; a column with no
+  /// history on either side is "unreliable" and the rule falls back to
+  /// most-fractional among the unreliable ones, which is exactly what
+  /// initializes the pseudocosts. Returns -1 when the point is integral.
+  int select_branch(const Workspace& ws, const std::vector<double>& x) const {
+    if (options_.branching != BranchingRule::Pseudocost || ws.pc_down_sum.empty()) {
+      return most_fractional(x);
+    }
+    int best_unreliable = -1;
+    double best_unreliable_frac = options_.integrality_tolerance;
+    int best_reliable = -1;
+    double best_score = -1.0;
+    for (lp::Col c = 0; c < reduced_.variable_count(); ++c) {
+      if (!reduced_.is_integer(c)) {
+        continue;
+      }
+      const std::size_t j = static_cast<std::size_t>(c);
+      const double v = x[j];
+      const double frac = std::abs(v - std::round(v));
+      if (frac <= options_.integrality_tolerance) {
+        continue;
+      }
+      const double f = v - std::floor(v);
+      if (ws.pc_down_count[j] == 0 || ws.pc_up_count[j] == 0) {
+        if (frac > best_unreliable_frac) {
+          best_unreliable_frac = frac;
+          best_unreliable = c;
+        }
+      } else {
+        const double down =
+            ws.pc_down_sum[j] / static_cast<double>(ws.pc_down_count[j]) * f;
+        const double up =
+            ws.pc_up_sum[j] / static_cast<double>(ws.pc_up_count[j]) * (1.0 - f);
+        const double score = std::max(down, 1e-6) * std::max(up, 1e-6);
+        if (score > best_score) {
+          best_score = score;
+          best_reliable = c;
+        }
+      }
+    }
+    return best_unreliable >= 0 ? best_unreliable : best_reliable;
+  }
+
+  /// Records the observed bound degradation of a child relative to its
+  /// parent, normalized per unit of fractionality, on the branched column.
+  void update_pseudocost(Workspace& ws, const Node& node, double child_bound) const {
+    if (options_.branching != BranchingRule::Pseudocost || ws.pc_down_sum.empty() ||
+        node.branch_col < 0 || node.parent_bound <= -MilpSolution::kBigBound) {
+      return;
+    }
+    const double denom = node.branch_up ? 1.0 - node.branch_frac : node.branch_frac;
+    if (denom < 1e-9) {
+      return;
+    }
+    const double gain = std::max(0.0, child_bound - node.parent_bound) / denom;
+    const std::size_t j = static_cast<std::size_t>(node.branch_col);
+    if (node.branch_up) {
+      ws.pc_up_sum[j] += gain;
+      ++ws.pc_up_count[j];
+    } else {
+      ws.pc_down_sum[j] += gain;
+      ++ws.pc_down_count[j];
+    }
+  }
+
+  /// The root dive (see milp/dive.hpp): fixes its way down from the root
+  /// relaxation with warm re-solves, offers any integral point it reaches as
+  /// an incumbent, and restores every bound it touched. `shared == nullptr`
+  /// means the sequential search. LP work lands in the dive counters, never
+  /// in the node budget.
+  void run_root_dive(Workspace& ws, const lp::LpSolution& root_relax,
+                     SharedSearch* shared) {
+    std::vector<BoundUndo> undo;
+    lp::Basis dive_basis = ws.revised->basis();
+    DiveHooks hooks;
+    hooks.lower = &ws.cur_lower;
+    hooks.upper = &ws.cur_upper;
+    hooks.set_bounds = [this, &ws, &undo](lp::Col c, double lo, double hi) {
+      const std::size_t j = static_cast<std::size_t>(c);
+      undo.push_back({c, ws.cur_lower[j], ws.cur_upper[j]});
+      set_node_bounds(ws, c, lo, hi);
+    };
+    hooks.resolve = [this, &ws, &dive_basis]() {
+      lp::LpSolution sol = ws.revised->solve_from(dive_basis);
+      if (sol.status == lp::LpStatus::Optimal) {
+        dive_basis = ws.revised->basis();
+      }
+      return sol;
+    };
+    const DiveResult result =
+        dive_for_incumbent(reduced_, hooks, root_relax,
+                           options_.integrality_tolerance,
+                           /*feasibility_tolerance=*/1e-5, dive_budget_);
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      set_node_bounds(ws, it->col, it->lower, it->upper);
+    }
+    if (shared == nullptr) {
+      dive_lp_solves_ += result.lp_solves;
+      dive_found_ = dive_found_ || result.found;
+      if (result.found) {
+        offer_incumbent(result.values);
+      }
+    } else {
+      shared->dive_lp_solves.fetch_add(result.lp_solves, std::memory_order_relaxed);
+      if (result.found) {
+        shared->dive_found.store(true, std::memory_order_relaxed);
+        offer_shared(*shared, result.values, /*tolerance=*/1e-5);
+      }
     }
   }
 
@@ -818,6 +1136,13 @@ class Solver {
   Clock::time_point deadline_{};
   long nodes_ = 0;
   bool cancelled_ = false;
+  /// Original column index per reduced column (provider mode only).
+  std::vector<lp::Col> orig_of_reduced_;
+  long dive_budget_ = 0;
+  long bound_prunes_ = 0;
+  long cutoff_prunes_ = 0;
+  long dive_lp_solves_ = 0;
+  bool dive_found_ = false;
   bool has_incumbent_ = false;
   std::vector<double> incumbent_;  ///< reduced space; restored on exit
   double incumbent_value_ = std::numeric_limits<double>::infinity();

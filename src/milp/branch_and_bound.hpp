@@ -4,6 +4,7 @@
 // when a layer is too large.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,8 @@
 
 namespace cohls::milp {
 
+class NodeBoundProvider;
+
 enum class MilpStatus {
   Optimal,     ///< proven optimal incumbent
   Feasible,    ///< an incumbent exists but the search hit a limit
@@ -22,6 +25,20 @@ enum class MilpStatus {
 };
 
 [[nodiscard]] std::string to_string(MilpStatus status);
+
+enum class BranchingRule {
+  /// Branch on the integer column whose relaxation value is farthest from
+  /// integral. The exact historical rule; cheap and deterministic.
+  MostFractional,
+  /// Pseudocost branching with a reliability fallback: while a column has no
+  /// observed branching history on one of its sides, it is scored by its
+  /// fractionality (so the first descents behave like most-fractional and
+  /// *initialize* the pseudocosts); once both sides are reliable the column
+  /// with the best product of estimated bound degradations wins. History is
+  /// kept per search worker, so threads stay lock-free and threads == 1
+  /// stays bit-reproducible.
+  Pseudocost,
+};
 
 struct MilpOptions {
   /// Maximum branch-and-bound nodes (LP solves); <= 0 means unlimited. With
@@ -66,6 +83,21 @@ struct MilpOptions {
   /// Run lp::presolve once at the root (fixed-column elimination, empty and
   /// singleton rows) and branch in the reduced space.
   bool presolve = true;
+  /// Optional combinatorial node-bound provider (see milp/bounds.hpp). When
+  /// set, every node evaluates the provider against its effective variable
+  /// bounds (in ORIGINAL model space) before its LP relaxation; the node
+  /// prunes without an LP solve when the combinatorial bound already meets
+  /// the incumbent, and otherwise the node bound is the max of the two.
+  /// Shared read-only across all search workers.
+  std::shared_ptr<const NodeBoundProvider> bounds;
+  /// Depth-first rounding/fixing dive at the root, before any fan-out: fix
+  /// the least-fractional integer column to its nearest value, re-solve warm,
+  /// backtrack once per column on infeasibility. A successful dive installs a
+  /// feasible incumbent every worker can prune against from node 1. Dive LP
+  /// solves are *not* charged against max_nodes.
+  bool dive = true;
+  /// Variable-selection rule at branch time.
+  BranchingRule branching = BranchingRule::Pseudocost;
   /// Cooperative cancellation: polled between nodes. A cancelled solve
   /// returns like a limit-hit one (Feasible with the incumbent so far, or
   /// NoSolution) with `cancelled` set in the solution.
@@ -86,6 +118,12 @@ struct MilpSolution {
   long lp_warm_solves = 0;      ///< node re-solves warm-started from a parent basis
   long lp_cold_solves = 0;      ///< from-scratch two-phase solves
   long lp_refactorizations = 0; ///< basis refactorizations in the revised solver
+
+  // Bound-driven search summary.
+  long bound_prunes = 0;   ///< nodes pruned by the combinatorial bound, no LP solve
+  long cutoff_prunes = 0;  ///< node LPs cut off early by the dual objective cutoff
+  long dive_lp_solves = 0; ///< LP solves spent inside the root dive (not nodes)
+  bool dive_found_incumbent = false;  ///< the root dive installed an incumbent
 
   // Parallel-search work summary (left at defaults when threads == 1).
   int threads_used = 1;        ///< worker team size the solve actually ran with

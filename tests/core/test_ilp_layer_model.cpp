@@ -8,6 +8,7 @@
 
 #include "assays/random_assay.hpp"
 #include "core/layer_synthesizer.hpp"
+#include "milp/bounds.hpp"
 #include "milp/branch_and_bound.hpp"
 #include "schedule/objective.hpp"
 #include "schedule/validate.hpp"
@@ -364,6 +365,103 @@ TEST_P(IlpVsHeuristic, ExactNeverLosesAndAlwaysValidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IlpVsHeuristic, ::testing::Range(0, 10));
+
+TEST(IlpLayerModel, PinnedBindingIsEnforced) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min);
+  const auto b = add_op(assay, "b", 5_min);
+
+  model::DeviceInventory inventory(4);
+  const model::DeviceConfig config{ContainerKind::Chamber, Capacity::Tiny, {}};
+  const auto d0 = inventory.instantiate(config, LayerId{0});
+  const auto d1 = inventory.instantiate(config, LayerId{0});
+
+  IlpLayerInputs inputs;
+  inputs.layer = LayerId{0};
+  inputs.ops = {a, b};
+  inputs.fixed_devices = {{d0, config}, {d1, config}};
+  inputs.new_slots = 0;
+  // Without the pin the optimum would place `a` anywhere; the pin forces the
+  // second device even though both are symmetric.
+  inputs.pinned = {{a, d1}};
+  const schedule::TransportPlan transport{2_min};
+  const model::CostModel costs;
+  const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
+  const auto solution = milp::solve_milp(ilp.model());
+  ASSERT_EQ(solution.status, milp::MilpStatus::Optimal);
+  const auto decoded = ilp.decode(solution.values, inventory);
+  const auto* item_a = decoded.schedule.find(a);
+  ASSERT_NE(item_a, nullptr);
+  EXPECT_EQ(item_a->device, d1);
+  EXPECT_TRUE(
+      schedule::validate_result(wrap(decoded, inventory), assay, transport).empty());
+}
+
+TEST(IlpLayerModel, BoundProviderIsAdmissibleAndPreservesTheOptimum) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min);
+  const auto b = add_op(assay, "b", 8_min, {a});
+  const auto c = add_op(assay, "c", 6_min);
+  IlpLayerInputs inputs;
+  inputs.layer = LayerId{0};
+  inputs.ops = {a, b, c};
+  inputs.new_slots = 2;
+  const schedule::TransportPlan transport{2_min};
+  const model::CostModel costs;
+  const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
+
+  const auto reference = milp::solve_milp(ilp.model());
+  ASSERT_EQ(reference.status, milp::MilpStatus::Optimal);
+
+  const auto provider = ilp.bound_provider();
+  ASSERT_NE(provider, nullptr);
+  std::vector<double> lower, upper;
+  for (lp::Col col = 0; col < ilp.model().variable_count(); ++col) {
+    lower.push_back(ilp.model().lp().lower_bound(col));
+    upper.push_back(ilp.model().lp().upper_bound(col));
+  }
+  const double bound = provider->objective_lower_bound(lower, upper);
+  EXPECT_LE(bound, reference.objective + 1e-6);
+
+  milp::MilpOptions options;
+  options.bounds = provider;
+  const auto bounded = milp::solve_milp(ilp.model(), options);
+  ASSERT_EQ(bounded.status, milp::MilpStatus::Optimal);
+  EXPECT_NEAR(bounded.objective, reference.objective, 1e-6);
+}
+
+TEST(IlpLayerModel, EncodeProducesAFeasibleWarmStart) {
+  model::Assay assay{"t"};
+  const auto a = add_op(assay, "a", 10_min);
+  const auto b = add_op(assay, "b", 8_min, {a});
+  const auto c = add_op(assay, "c", 6_min, {a});
+  schedule::LayerRequest request;
+  request.layer = LayerId{0};
+  request.ops = {a, b, c};
+  const schedule::TransportPlan transport{2_min};
+  const model::CostModel costs;
+
+  model::DeviceInventory heuristic_inventory(4);
+  const auto heuristic =
+      schedule_layer(request, assay, transport, costs, heuristic_inventory);
+
+  IlpLayerInputs inputs;
+  inputs.layer = request.layer;
+  inputs.ops = request.ops;
+  inputs.new_slots = 3;
+  const IlpLayerModel ilp(assay, std::move(inputs), transport, costs);
+  const std::vector<double> seed = ilp.encode(heuristic, heuristic_inventory);
+  ASSERT_FALSE(seed.empty());
+  EXPECT_TRUE(ilp.model().is_feasible(seed, 1e-6));
+
+  // Seeding the encoded point as the warm start must keep the solve exact
+  // and can only help: the optimum is no worse than the heuristic's value.
+  milp::MilpOptions options;
+  options.warm_start = seed;
+  const auto solution = milp::solve_milp(ilp.model(), options);
+  ASSERT_EQ(solution.status, milp::MilpStatus::Optimal);
+  EXPECT_LE(solution.objective, ilp.model().lp().objective_value(seed) + 1e-6);
+}
 
 }  // namespace
 }  // namespace cohls::core
