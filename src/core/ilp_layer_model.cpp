@@ -838,8 +838,8 @@ void IlpLayerModel::add_cost_floor_cuts() {
 }
 
 std::shared_ptr<const milp::NodeBoundProvider> IlpLayerModel::bound_provider() const {
-  if (device_count() > 31) {
-    return nullptr;  // SchedulingBounds packs device sets into an unsigned
+  if (device_count() > 64) {
+    return nullptr;  // SchedulingBounds packs device sets into a 64-bit mask
   }
   milp::SchedulingBounds::Config config;
   const int n = static_cast<int>(inputs_.ops.size());
@@ -893,7 +893,7 @@ std::shared_ptr<const milp::NodeBoundProvider> IlpLayerModel::bound_provider() c
   }
   for (int j = 0; j < device_count(); ++j) {
     if (device_kind_[static_cast<std::size_t>(j)] != SlotKind::New) {
-      config.free_slot_mask |= 1u << j;
+      config.free_slot_mask |= milp::DeviceMask{1} << j;
     }
   }
   config.objective.resize(static_cast<std::size_t>(model_.variable_count()));

@@ -332,6 +332,40 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
         }
       }
     }
+
+    // Fleet simulation: thousands of seeded replays of the certified
+    // schedule under sampled hazards, reduced into MTTF / recovery-rate /
+    // completion-histogram metrics. Deterministic for any worker count.
+    if (row.status == JobStatus::Ok && job.fleet_runs > 0) {
+      sim::FleetOptions fleet;
+      fleet.runs = job.fleet_runs;
+      fleet.seed = job.fleet_seed;
+      // Fleet workers draw from the same per-job concurrency share as the
+      // MILP solves; the reduction is identical either way.
+      fleet.jobs = arbitrated_milp_threads(0, options_.jobs);
+      fleet.runtime.seed = job.simulate_seed;
+      if (job.fault_plan.has_value()) {
+        fleet.runtime.faults = sim::parse_fault_plan(*job.fault_plan);
+      }
+      if (!job.hazard_spec.empty()) {
+        fleet.hazard = sim::parse_hazard_spec(job.hazard_spec, assay.registry());
+      }
+      if (job.fleet_recover) {
+        const schedule::SynthesisResult& result = report.result;
+        fleet.recover = [&assay, &result, &options](const sim::RunTrace& trace) {
+          return core::recover(assay, result, trace, options).recovered;
+        };
+      }
+      const Clock::time_point fleet_begin = Clock::now();
+      row.fleet = sim::run_fleet(report.result, assay, fleet);
+      metrics_.histogram("fleet_seconds")
+          .observe(std::chrono::duration<double>(Clock::now() - fleet_begin)
+                       .count());
+      metrics_.counter("fleet_runs").add(row.fleet->runs);
+      metrics_.counter("fleet_breaks")
+          .add(row.fleet->device_failed + row.fleet->attempts_exhausted);
+      metrics_.counter("fleet_recoveries").add(row.fleet->recovered);
+    }
   } catch (const io::ParseError& e) {
     row.status = JobStatus::ParseError;
     row.detail = e.what();
@@ -344,6 +378,9 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
   } catch (const sim::FaultPlanError& e) {
     row.status = JobStatus::Error;
     row.detail = std::string{"fault plan: "} + e.what();
+  } catch (const sim::HazardSpecError& e) {
+    row.status = JobStatus::Error;
+    row.detail = std::string{"hazard spec: "} + e.what();
   } catch (const std::exception& e) {
     row.status = JobStatus::Error;
     row.detail = e.what();
@@ -468,7 +505,30 @@ std::string results_json(const std::vector<BatchResult>& rows) {
         << diag::escape_json(row.run_outcome) << "\", \"recovery_attempted\": "
         << (row.recovery_attempted ? "true" : "false")
         << ", \"recovered\": " << (row.recovered ? "true" : "false")
-        << ", \"diagnostics\": [";
+        << ", \"fleet\": ";
+    if (row.fleet.has_value()) {
+      const sim::FleetSummary& fleet = *row.fleet;
+      out << "{\"runs\": " << fleet.runs << ", \"completed\": " << fleet.completed
+          << ", \"device_failed\": " << fleet.device_failed
+          << ", \"attempts_exhausted\": " << fleet.attempts_exhausted
+          << ", \"recovery_attempts\": " << fleet.recovery_attempts
+          << ", \"recovered\": " << fleet.recovered
+          << ", \"recovery_success_rate\": " << fleet.recovery_success_rate
+          << ", \"mttf_minutes\": " << fleet.mttf_minutes
+          << ", \"mean_completion_minutes\": " << fleet.mean_completion_minutes
+          << ", \"histogram_min\": " << fleet.histogram_min.count()
+          << ", \"histogram_max\": " << fleet.histogram_max.count()
+          << ", \"completion_histogram\": [";
+      bool first_bucket = true;
+      for (const int count : fleet.completion_histogram) {
+        out << (first_bucket ? "" : ", ") << count;
+        first_bucket = false;
+      }
+      out << "], \"events\": " << fleet.events << "}";
+    } else {
+      out << "null";
+    }
+    out << ", \"diagnostics\": [";
     bool first_diag = true;
     for (const diag::Diagnostic& d : row.diagnostics) {
       out << (first_diag ? "" : ", ") << diag::json_object(d);

@@ -17,6 +17,7 @@
 #include "engine/layer_cache.hpp"
 #include "engine/metrics.hpp"
 #include "engine/thread_pool.hpp"
+#include "sim/fleet.hpp"
 
 namespace cohls::engine {
 
@@ -41,6 +42,19 @@ struct BatchJob {
   std::optional<std::string> fault_plan;
   /// Seed of the fault-injection replay (indeterminate attempt sampling).
   std::uint64_t simulate_seed = 1;
+  /// Monte-Carlo fleet: when > 0, the certified schedule is replayed this
+  /// many times with per-run seeds derived from `fleet_seed`, optionally
+  /// under `hazard_spec`-sampled device failures, and reduced into
+  /// reliability metrics (BatchResult::fleet). Scripted `fault_plan` events
+  /// replay in every fleet run.
+  int fleet_runs = 0;
+  /// Hazard spec (see sim::parse_hazard_spec), e.g.
+  /// "exp:5000; heating-pad=weibull:2000,1.5". Empty = no sampled failures.
+  std::string hazard_spec;
+  std::uint64_t fleet_seed = 1;
+  /// Probe degraded-mode recovery (core::recover) on every broken fleet run
+  /// so the summary reports a recovery success rate.
+  bool fleet_recover = false;
 };
 
 enum class JobStatus {
@@ -91,6 +105,9 @@ struct BatchResult {
   bool recovery_attempted = false;
   /// Recovery produced a certified continuation schedule.
   bool recovered = false;
+  /// Fleet-simulation reduction; set iff the job requested fleet_runs > 0
+  /// and the schedule certified.
+  std::optional<sim::FleetSummary> fleet;
 };
 
 struct BatchOptions {

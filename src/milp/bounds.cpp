@@ -1,6 +1,7 @@
 #include "milp/bounds.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -14,20 +15,14 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-6;
 
-int popcount(unsigned mask) {
-  int count = 0;
-  for (; mask != 0; mask &= mask - 1) {
-    ++count;
-  }
-  return count;
-}
+int popcount(DeviceMask mask) { return std::popcount(mask); }
 
 }  // namespace
 
 SchedulingBounds::SchedulingBounds(Config config) : config_(std::move(config)) {
   device_count_ = config_.free_devices + config_.new_devices;
   COHLS_EXPECT(device_count_ >= 1, "scheduling bounds need at least one device slot");
-  COHLS_EXPECT(device_count_ <= 31, "device masks are 32-bit");
+  COHLS_EXPECT(device_count_ <= 64, "device masks are 64-bit");
   for (const Task& task : config_.tasks) {
     COHLS_EXPECT(static_cast<int>(task.binding.size()) == device_count_,
                  "every task needs one binding column per visible device");
@@ -62,8 +57,8 @@ bool SchedulingBounds::derive_windows(const std::vector<double>& lower,
     if (w.lst < w.est - kEps) {
       return false;
     }
-    unsigned allowed = 0;
-    unsigned forced = 0;
+    DeviceMask allowed = 0;
+    DeviceMask forced = 0;
     for (int j = 0; j < device_count_; ++j) {
       const lp::Col col = task.binding[static_cast<std::size_t>(j)];
       if (col < 0) {
@@ -71,10 +66,10 @@ bool SchedulingBounds::derive_windows(const std::vector<double>& lower,
       }
       const std::size_t c = static_cast<std::size_t>(col);
       if (upper[c] > 0.5) {
-        allowed |= 1u << j;
+        allowed |= DeviceMask{1} << j;
       }
       if (lower[c] > 0.5) {
-        forced |= 1u << j;
+        forced |= DeviceMask{1} << j;
       }
     }
     // A branch that fixed a binding variable to 1 pins the task to that
@@ -149,8 +144,8 @@ double SchedulingBounds::makespan_bound(const std::vector<double>& lower,
   // Tasks whose allowed devices all lie inside a candidate mask compete for
   // only that many slots, which is where branch-path fixings create strong
   // bounds (several tasks pinned to one device sum their occupations).
-  std::vector<unsigned> masks;
-  unsigned all = 0;
+  std::vector<DeviceMask> masks;
+  DeviceMask all = 0;
   for (const Window& w : windows) {
     all |= w.mask;
     if (std::find(masks.begin(), masks.end(), w.mask) == masks.end()) {
@@ -171,7 +166,7 @@ double SchedulingBounds::makespan_bound(const std::vector<double>& lower,
 
   double bound = trivial;
   std::vector<Window> group;
-  for (const unsigned mask : masks) {
+  for (const DeviceMask mask : masks) {
     group.clear();
     double group_low = trivial;
     for (const Window& w : windows) {
@@ -277,14 +272,14 @@ double SchedulingBounds::objective_lower_bound(const std::vector<double>& lower,
       return kInf;  // the node box is empty
     }
     distinct_count = static_cast<int>(config_.distinct_tasks.size());
-    unsigned reachable_free = 0;
+    DeviceMask reachable_free = 0;
     std::vector<double> eligible;
     for (const int t : config_.distinct_tasks) {
       const double cost =
           config_.task_new_cost.empty() ? 0.0
                                         : config_.task_new_cost[static_cast<std::size_t>(t)];
       distinct_floor += cost;
-      const unsigned free_options =
+      const DeviceMask free_options =
           windows[static_cast<std::size_t>(t)].mask & config_.free_slot_mask;
       if (free_options != 0) {
         reachable_free |= free_options;

@@ -13,12 +13,18 @@
 // bounds.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "lp/model.hpp"
 
 namespace cohls::milp {
+
+/// Device-slot bitset used by the combinatorial bounds. Fixed-width 64-bit:
+/// per-layer models are capped well below 64 visible slots, and a flat
+/// integer keeps the energetic-reasoning inner loops branch-free.
+using DeviceMask = std::uint64_t;
 
 /// Interface the solver calls once per node, before the LP relaxation.
 /// `lower`/`upper` are the node's effective variable bounds in the ORIGINAL
@@ -82,7 +88,7 @@ class SchedulingBounds final : public NodeBoundProvider {
     /// payment — at most as many as there are reachable free slots.
     std::vector<double> task_new_cost;
     std::vector<int> distinct_tasks;
-    unsigned free_slot_mask = 0;
+    DeviceMask free_slot_mask = 0;
     /// Full objective coefficient vector of the model (copied; the provider
     /// outlives any reference the caller holds).
     std::vector<double> objective;
@@ -112,11 +118,11 @@ class SchedulingBounds final : public NodeBoundProvider {
 
  private:
   struct Window {
-    int task = -1;      ///< index into config_.tasks (groups are subsets, so
-                        ///< a window's position does not identify its task)
-    double est = 0.0;   ///< earliest start (node lower bound on the start col)
-    double lst = 0.0;   ///< latest start (node upper bound on the start col)
-    unsigned mask = 0;  ///< allowed device slots under the node's fixings
+    int task = -1;        ///< index into config_.tasks (groups are subsets, so
+                          ///< a window's position does not identify its task)
+    double est = 0.0;     ///< earliest start (node lower bound on the start col)
+    double lst = 0.0;     ///< latest start (node upper bound on the start col)
+    DeviceMask mask = 0;  ///< allowed device slots under the node's fixings
   };
 
   /// Derives per-task windows and allowed-device masks from the node box.

@@ -1,0 +1,223 @@
+#include "sim/event_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace cohls::sim {
+
+namespace {
+
+/// Same-instant drain order: type priority, then the type's natural key,
+/// then posting order. All compared events share `at`.
+bool event_order(const Event& a, const Event& b) {
+  if (a.type != b.type) {
+    return static_cast<std::uint8_t>(a.type) < static_cast<std::uint8_t>(b.type);
+  }
+  if (a.key != b.key) {
+    return a.key < b.key;
+  }
+  return a.seq < b.seq;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+void EventWheel::Stats::merge(const Stats& other) {
+  posted += other.posted;
+  popped += other.popped;
+  cascaded += other.cascaded;
+  overflowed += other.overflowed;
+  peak_pending = std::max(peak_pending, other.peak_pending);
+}
+
+EventWheel::EventWheel(std::size_t buckets)
+    : bucket_count_(round_up_pow2(std::max<std::size_t>(buckets, 2))),
+      mask_(static_cast<std::int64_t>(bucket_count_) - 1),
+      shift_(std::countr_zero(bucket_count_)),
+      coarse_span_(static_cast<std::int64_t>(bucket_count_) *
+                   static_cast<std::int64_t>(bucket_count_)),
+      fine_(bucket_count_),
+      coarse_(bucket_count_),
+      fine_epoch_(bucket_count_, 0),
+      coarse_epoch_(bucket_count_, 0),
+      fine_bits_((bucket_count_ + 63) / 64, 0),
+      coarse_bits_((bucket_count_ + 63) / 64, 0) {}
+
+std::vector<Event>& EventWheel::fine_bucket(std::size_t index) {
+  std::vector<Event>& bucket = fine_[index];
+  if (fine_epoch_[index] != epoch_) {
+    bucket.clear();
+    fine_epoch_[index] = epoch_;
+  }
+  return bucket;
+}
+
+std::vector<Event>& EventWheel::coarse_bucket(std::size_t index) {
+  std::vector<Event>& bucket = coarse_[index];
+  if (coarse_epoch_[index] != epoch_) {
+    bucket.clear();
+    coarse_epoch_[index] = epoch_;
+  }
+  return bucket;
+}
+
+std::size_t EventWheel::next_occupied(const std::vector<std::uint64_t>& bits,
+                                      std::size_t from) const {
+  std::size_t word = from >> 6;
+  if (word >= bits.size()) {
+    return kNoBucket;
+  }
+  std::uint64_t w = bits[word] & (~std::uint64_t{0} << (from & 63));
+  while (w == 0) {
+    if (++word == bits.size()) {
+      return kNoBucket;
+    }
+    w = bits[word];
+  }
+  return (word << 6) + static_cast<std::size_t>(std::countr_zero(w));
+}
+
+void EventWheel::reset(std::int64_t start) {
+  COHLS_EXPECT(start >= 0, "event wheel start time must be non-negative");
+  ++epoch_;  // every bucket's contents become stale; cleared lazily on touch
+  std::fill(fine_bits_.begin(), fine_bits_.end(), 0);
+  std::fill(coarse_bits_.begin(), coarse_bits_.end(), 0);
+  overflow_.clear();
+  drain_.clear();
+  drain_pos_ = 0;
+  now_ = start;
+  fine_window_ = start & ~mask_;
+  coarse_window_ = start - (start % coarse_span_);
+  pending_ = 0;
+  fine_count_ = 0;
+  seq_ = 0;
+}
+
+void EventWheel::post(Event e) {
+  COHLS_EXPECT(e.at >= now_, "events must be posted at or after the wheel clock");
+  e.seq = seq_++;
+  if (e.at < fine_window_ + static_cast<std::int64_t>(bucket_count_)) {
+    const std::size_t index = static_cast<std::size_t>(e.at & mask_);
+    fine_bucket(index).push_back(e);
+    fine_bits_[index >> 6] |= std::uint64_t{1} << (index & 63);
+    ++fine_count_;
+  } else if (e.at < coarse_window_ + coarse_span_) {
+    const std::size_t index = static_cast<std::size_t>((e.at >> shift_) & mask_);
+    coarse_bucket(index).push_back(e);
+    coarse_bits_[index >> 6] |= std::uint64_t{1} << (index & 63);
+  } else {
+    overflow_.push_back(e);
+    ++stats_.overflowed;
+  }
+  ++pending_;
+  ++stats_.posted;
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_);
+}
+
+void EventWheel::cascade() {
+  // The fine wheel finished its rotation: advance its window and pull down
+  // the coarse bucket that covers the new rotation.
+  fine_window_ += static_cast<std::int64_t>(bucket_count_);
+  if (fine_window_ == coarse_window_ + coarse_span_) {
+    // The coarse wheel also wrapped: advance it and re-home any parked
+    // overflow events that now fall inside a wheel window.
+    coarse_window_ += coarse_span_;
+    std::vector<Event> still_far;
+    still_far.reserve(overflow_.size());
+    for (const Event& e : overflow_) {
+      if (e.at < coarse_window_ + coarse_span_) {
+        const std::size_t index = static_cast<std::size_t>((e.at >> shift_) & mask_);
+        coarse_bucket(index).push_back(e);
+        coarse_bits_[index >> 6] |= std::uint64_t{1} << (index & 63);
+        ++stats_.cascaded;
+      } else {
+        still_far.push_back(e);
+      }
+    }
+    overflow_.swap(still_far);
+  }
+  const std::size_t slice_index =
+      static_cast<std::size_t>((fine_window_ >> shift_) & mask_);
+  if ((coarse_bits_[slice_index >> 6] >> (slice_index & 63)) & 1) {
+    std::vector<Event>& slice = coarse_[slice_index];
+    for (const Event& e : slice) {
+      const std::size_t index = static_cast<std::size_t>(e.at & mask_);
+      fine_bucket(index).push_back(e);
+      fine_bits_[index >> 6] |= std::uint64_t{1} << (index & 63);
+      ++fine_count_;
+      ++stats_.cascaded;
+    }
+    slice.clear();
+    coarse_bits_[slice_index >> 6] &= ~(std::uint64_t{1} << (slice_index & 63));
+  }
+}
+
+std::optional<Event> EventWheel::next(std::int64_t horizon) {
+  if (drain_pos_ < drain_.size()) {
+    if (drain_[drain_pos_].at > horizon) {
+      return std::nullopt;
+    }
+    return drain_[drain_pos_++];
+  }
+  drain_.clear();
+  drain_pos_ = 0;
+  while (pending_ > 0) {
+    if (now_ > horizon) {
+      return std::nullopt;
+    }
+    const std::int64_t rotation_end = fine_window_ + static_cast<std::int64_t>(bucket_count_);
+    if (now_ == rotation_end) {
+      cascade();
+      continue;
+    }
+    if (fine_count_ == 0) {
+      // Nothing due this rotation: jump straight to its end (triggering a
+      // cascade) or just past the horizon, whichever is nearer.
+      now_ = std::min(rotation_end, horizon + 1);
+      continue;
+    }
+    // The fine window is mask-aligned, so minutes [now_, rotation_end) map
+    // monotonically to bucket indices [now_ & mask_, bucket_count_): one
+    // bitmap probe finds the next occupied minute of the rotation.
+    const std::size_t index = next_occupied(fine_bits_, static_cast<std::size_t>(now_ & mask_));
+    if (index == kNoBucket) {
+      now_ = std::min(rotation_end, horizon + 1);
+      continue;
+    }
+    const std::int64_t minute = fine_window_ + static_cast<std::int64_t>(index);
+    if (minute > horizon) {
+      now_ = horizon + 1;
+      return std::nullopt;
+    }
+    now_ = minute;
+    std::vector<Event>& bucket = fine_[index];  // occupied => current epoch
+    // Every event in a fine bucket shares one instant (distinct minutes in
+    // a rotation map to distinct buckets), so sorting yields the
+    // deterministic same-instant order.
+    if (bucket.size() > 1) {
+      std::sort(bucket.begin(), bucket.end(), event_order);
+    }
+    drain_.swap(bucket);
+    bucket.clear();
+    fine_bits_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+    fine_count_ -= drain_.size();
+    pending_ -= drain_.size();
+    stats_.popped += drain_.size();
+    ++now_;
+    return drain_[drain_pos_++];
+  }
+  return std::nullopt;
+}
+
+}  // namespace cohls::sim

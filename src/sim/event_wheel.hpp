@@ -1,0 +1,126 @@
+// Multi-scale circular-bucket calendar queue for the runtime simulator.
+//
+// The replay engine posts operation-start / completion / attempt-exhaustion /
+// device-failure events at integer assay minutes and consumes them strictly
+// in time order. A binary heap would cost O(log n) per event; this wheel is
+// O(1) amortized: a fine wheel of one-minute buckets covers the current
+// rotation, a coarse wheel of rotation-wide buckets covers the next
+// `buckets` rotations, and everything farther parks in an overflow list that
+// is re-homed when the coarse window advances (the sched_util.h multi-scale
+// design from mcell, adapted to deterministic draining).
+//
+// Determinism contract: events popped at one instant are ordered by
+// (type, key, seq) — completions first, then device failures by device id,
+// then exhaustions by operation id, then starts — so a replay that stops at
+// the first break event resolves simultaneous candidates exactly like the
+// reference implementation's Break::beats tie-break. `seq` is the posting
+// order, making the full drain order a pure function of the posted events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cohls::sim {
+
+/// Drain priority at one instant, in ascending order: completions release
+/// devices before a same-minute failure checks for stranded work, failures
+/// beat exhaustions (the reference tie-break), and starts never break a run.
+enum class EventType : std::uint8_t {
+  Completion = 0,
+  DeviceFailure = 1,
+  Exhaustion = 2,
+  Start = 3,
+};
+
+struct Event {
+  std::int64_t at = 0;  ///< absolute assay minute
+  EventType type = EventType::Start;
+  /// Deterministic same-instant tie-break: device id for failures,
+  /// operation id for exhaustions, window index otherwise.
+  std::int32_t key = 0;
+  /// Free payload: window index (start/completion/exhaustion) or fault
+  /// index (device failure).
+  std::int32_t payload = 0;
+  /// Posting order; final tie-break so drain order is reproducible.
+  std::uint32_t seq = 0;
+};
+
+class EventWheel {
+ public:
+  struct Stats {
+    std::uint64_t posted = 0;
+    std::uint64_t popped = 0;
+    /// Events pulled from the coarse wheel or the overflow list into a
+    /// finer scale as the window advanced.
+    std::uint64_t cascaded = 0;
+    /// Events that landed in the overflow list on posting.
+    std::uint64_t overflowed = 0;
+    /// Maximum number of events pending at once.
+    std::size_t peak_pending = 0;
+
+    void merge(const Stats& other);
+  };
+
+  /// `buckets` is the fine-wheel size (rounded up to a power of two); the
+  /// coarse wheel spans buckets^2 minutes before the overflow list starts.
+  explicit EventWheel(std::size_t buckets = 256);
+
+  /// Clears all pending events and rewinds the clock to `start`. O(1) in
+  /// the bucket count: buckets are epoch-stamped and lazily cleared on
+  /// their next touch, so a reset wheel replays without allocating or
+  /// walking the bucket arrays. Cumulative stats survive a reset (they
+  /// aggregate across fleet runs); call `clear_stats` to zero them.
+  void reset(std::int64_t start = 0);
+  void clear_stats() { stats_ = Stats{}; }
+
+  /// Posts an event at `e.at >= now()`. `e.seq` is assigned by the wheel.
+  void post(Event e);
+
+  /// Pops the next pending event with `at <= horizon` in deterministic
+  /// (time, type, key, seq) order, or nullopt when none is due yet. The
+  /// clock never moves backwards: after a pop at time t, posts must be
+  /// at >= t.
+  [[nodiscard]] std::optional<Event> next(std::int64_t horizon);
+
+  [[nodiscard]] std::int64_t now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void cascade();
+  /// Bucket accessors that lazily clear storage left over from a previous
+  /// epoch (reset bumps the epoch instead of walking every bucket).
+  std::vector<Event>& fine_bucket(std::size_t index);
+  std::vector<Event>& coarse_bucket(std::size_t index);
+  /// Index of the first occupied bucket at or after `from`, or npos.
+  [[nodiscard]] std::size_t next_occupied(const std::vector<std::uint64_t>& bits,
+                                          std::size_t from) const;
+
+  std::size_t bucket_count_;         // power of two
+  std::int64_t mask_;                // bucket_count_ - 1
+  int shift_ = 0;                    // log2(bucket_count_)
+  std::int64_t coarse_span_;         // bucket_count_^2
+  std::vector<std::vector<Event>> fine_;
+  std::vector<std::vector<Event>> coarse_;
+  /// Epoch stamp of each bucket's contents; a stale stamp reads as empty.
+  std::vector<std::uint64_t> fine_epoch_;
+  std::vector<std::uint64_t> coarse_epoch_;
+  std::uint64_t epoch_ = 1;
+  /// Occupancy bitmaps (one bit per bucket): `next` jumps straight to the
+  /// next non-empty minute instead of probing every bucket in between.
+  std::vector<std::uint64_t> fine_bits_;
+  std::vector<std::uint64_t> coarse_bits_;
+  std::vector<Event> overflow_;
+  std::vector<Event> drain_;         // same-instant events, sorted
+  std::size_t drain_pos_ = 0;
+  std::int64_t now_ = 0;
+  std::int64_t fine_window_ = 0;     // fine wheel covers [fine_window_, +buckets)
+  std::int64_t coarse_window_ = 0;   // coarse wheel covers [coarse_window_, +buckets^2)
+  std::size_t pending_ = 0;
+  std::size_t fine_count_ = 0;
+  std::uint32_t seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cohls::sim

@@ -1,0 +1,78 @@
+// Monte-Carlo fleet simulation: thousands of seeded replays of one
+// synthesized schedule, fanned across a worker pool and reduced into
+// reliability metrics (MTTF, recovery success rate, completion-time
+// histogram). Each run derives its attempt seed and hazard-sampled fault
+// plan from counter-based streams of (fleet seed, run index), and the
+// reduction walks per-run records in run order — so the summary is
+// bit-identical for any worker count and independent of scheduling.
+#pragma once
+
+#include <functional>
+
+#include "model/assay.hpp"
+#include "schedule/types.hpp"
+#include "sim/hazard.hpp"
+#include "sim/runtime.hpp"
+
+namespace cohls::sim {
+
+struct FleetOptions {
+  /// Number of seeded replays.
+  int runs = 1000;
+  /// Fleet master seed; run r's streams derive from (seed, r).
+  std::uint64_t seed = 1;
+  /// Worker threads (1 = run inline on the caller).
+  int jobs = 1;
+  /// Base replay options. The per-run attempt seed is derived from the
+  /// fleet seed; any scripted faults here replay in every run, with
+  /// hazard-sampled failures appended.
+  RuntimeOptions runtime;
+  HazardModel hazard;
+  /// Optional recovery probe, called with the trace of every broken run;
+  /// returns whether recovery (e.g. core re-synthesis of the residual
+  /// assay) succeeded. Must be thread-safe and deterministic in the trace.
+  std::function<bool(const RunTrace&)> recover;
+  /// Buckets of the completion-time histogram.
+  int histogram_buckets = 16;
+};
+
+struct FleetSummary {
+  int runs = 0;
+  int completed = 0;
+  int device_failed = 0;
+  int attempts_exhausted = 0;
+  /// Broken runs offered to the recovery probe (= broken runs when a probe
+  /// is set, else 0) and how many of those recovered.
+  int recovery_attempts = 0;
+  int recovered = 0;
+  /// recovered / recovery_attempts; 0 when nothing was attempted.
+  double recovery_success_rate = 0.0;
+  /// Mean break time of broken runs in minutes; 0 when nothing broke.
+  double mttf_minutes = 0.0;
+  /// Mean realized completion time of completed runs; 0 when none completed.
+  double mean_completion_minutes = 0.0;
+  /// Completion-time histogram over completed runs: `histogram_buckets`
+  /// equal-width buckets spanning [histogram_min, histogram_max].
+  Minutes histogram_min{0};
+  Minutes histogram_max{0};
+  std::vector<int> completion_histogram;
+  /// Wheel events consumed across all runs.
+  std::uint64_t events = 0;
+  /// Calendar-wheel statistics merged across all workers.
+  EventWheel::Stats wheel;
+};
+
+/// Simulates `options.runs` seeded replays of `result` and reduces them.
+/// The reduction is deterministic: bit-identical for the same
+/// (result, assay, options) at any `jobs`.
+[[nodiscard]] FleetSummary run_fleet(const schedule::SynthesisResult& result,
+                                     const model::Assay& assay,
+                                     const FleetOptions& options);
+
+/// As above, for a schedule already compiled with compile_schedule. The
+/// inventory supplies the devices hazards sample over.
+[[nodiscard]] FleetSummary run_fleet(const CompiledSchedule& compiled,
+                                     const model::DeviceInventory& devices,
+                                     const FleetOptions& options);
+
+}  // namespace cohls::sim

@@ -10,10 +10,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -22,40 +18,17 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  COHLS_EXPECT(lo <= hi, "uniform_int requires lo <= hi");
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) {  // full 64-bit range
-    return static_cast<std::int64_t>(next_u64());
-  }
-  // Rejection sampling to avoid modulo bias.
-  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
-  std::uint64_t draw = next_u64();
-  while (draw >= limit) {
-    draw = next_u64();
-  }
-  return lo + static_cast<std::int64_t>(draw % range);
-}
-
-double Rng::uniform_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::bernoulli(double p) {
-  COHLS_EXPECT(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0, 1]");
-  return uniform_double() < p;
+std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t a, std::uint64_t b) {
+  // Three chained splitmix64 finalizations: each input perturbs the counter
+  // before the next round, so (master, a, b) triples that differ in any
+  // component land in unrelated streams.
+  std::uint64_t x = master;
+  std::uint64_t mixed = splitmix64(x);
+  x ^= a + 0xD1B54A32D192ED03ULL;
+  mixed ^= splitmix64(x);
+  x ^= b + 0x8CB92BA72F3D8DD7ULL;
+  mixed ^= splitmix64(x);
+  return mixed;
 }
 
 }  // namespace cohls

@@ -12,25 +12,67 @@
 namespace cohls {
 
 /// xoshiro256** with a splitmix64 seeder — small, fast, and identical on
-/// every platform.
+/// every platform. The draw methods are defined inline: per-attempt
+/// bernoulli draws dominate the fleet-replay hot loop, and a cross-TU call
+/// per draw is measurable there.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
   /// Uniform 64-bit value.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    COHLS_EXPECT(lo <= hi, "uniform_int requires lo <= hi");
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>(next_u64());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) {
+      draw = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(draw % range);
+  }
 
   /// Uniform double in [0, 1).
-  double uniform_double();
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli draw with probability `p` in [0, 1].
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    COHLS_EXPECT(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0, 1]");
+    return uniform_double() < p;
+  }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t state_[4];
 };
+
+/// Derives an independent stream seed from a master seed and two counters
+/// (e.g. a stream tag and a run index) via splitmix64 finalization rounds.
+/// Counter-based derivation makes parallel Monte-Carlo sweeps reproducible
+/// and order-independent: any subset of (a, b) pairs can be expanded in any
+/// order — on any worker — and yields the same per-stream sequences.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t a,
+                                               std::uint64_t b);
 
 }  // namespace cohls

@@ -130,7 +130,8 @@ SchedulingInstance make_scheduling(std::uint64_t seed, int tasks, int devices,
     for (int i = 0; i < distinct; ++i) {
       out.config.distinct_tasks.push_back(i);
     }
-    out.config.free_slot_mask = (1u << free_devices) - 1u;
+    out.config.free_slot_mask =
+        free_devices >= 64 ? ~DeviceMask{0} : (DeviceMask{1} << free_devices) - 1;
   }
   out.config.objective.resize(static_cast<std::size_t>(out.model.variable_count()));
   for (lp::Col c = 0; c < out.model.variable_count(); ++c) {
@@ -262,6 +263,82 @@ TEST_P(SchedulingThreadParity, FourWorkersMatchSequentialWithBounds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulingThreadParity, ::testing::Range(0, 15));
+
+// --- wide masks ------------------------------------------------------------
+
+// Device masks are 64-bit: a 40-slot instance must carry allowed-device bits
+// past the 32-bit boundary through window derivation, the energetic grouping,
+// and the distinct-task free-slot escape. A 32-bit mask would wrap slot 39
+// onto slot 7 — silently freeing pinned high slots and collapsing the bound.
+TEST(SchedulingWideMasks, FortySlotInstanceTracksHighMaskBits) {
+  constexpr int kTasks = 3;
+  constexpr int kDevices = 40;
+  constexpr int kFree = 36;  // free slots 0..35 straddle the 32-bit boundary
+  constexpr double kDuration = 3.0;
+  constexpr double kOccupation = 4.0;
+  const double horizon = kTasks * kOccupation;
+
+  MilpModel model;
+  SchedulingBounds::Config config;
+  std::vector<std::vector<lp::Col>> binding(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    for (int j = 0; j < kDevices; ++j) {
+      binding[static_cast<std::size_t>(i)].push_back(model.add_binary(0.0));
+    }
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    SchedulingBounds::Task task;
+    task.start = model.add_variable(VarKind::Integer, 0.0, horizon, 0.0);
+    task.occupation = kOccupation;
+    task.duration = kDuration;
+    task.binding = binding[static_cast<std::size_t>(i)];
+    config.tasks.push_back(std::move(task));
+  }
+  config.makespan = model.add_variable(VarKind::Continuous, 0.0, horizon, 1.0);
+  config.makespan_weight = 1.0;
+  config.free_devices = kFree;
+  config.new_devices = kDevices - kFree;
+  config.min_new_device_cost = kNewDeviceCost;
+  config.task_new_cost.assign(kTasks, kNewDeviceCost);
+  config.distinct_tasks = {0, 1, 2};
+  config.free_slot_mask = (DeviceMask{1} << kFree) - 1;
+  config.objective.resize(static_cast<std::size_t>(model.variable_count()));
+  for (lp::Col c = 0; c < model.variable_count(); ++c) {
+    config.objective[static_cast<std::size_t>(c)] =
+        model.lp().objective_coefficient(c);
+  }
+  const SchedulingBounds provider(config);
+
+  // Unpinned: forty slots host three tasks in parallel, every distinct task
+  // reaches a free slot, so both bounds collapse to the bare duration.
+  const auto lower = root_lower(model);
+  const auto upper = root_upper(model);
+  EXPECT_NEAR(provider.makespan_bound(lower, upper, kDevices), kDuration, 1e-9);
+  EXPECT_NEAR(provider.objective_lower_bound(lower, upper), kDuration, 1e-9);
+  EXPECT_EQ(provider.min_devices_for_deadline(lower, upper, kDuration), kTasks);
+
+  // Pin tasks 1 and 2 to the two highest slots (38 and 39, both NEW slots).
+  // Their device payments can no longer escape to a free slot: the distinct
+  // floor is two task costs, and the cheapest device count is u = 38 —
+  // makespan 3 plus max(floor, 2 paid slots) * cost.
+  auto pinned_lower = lower;
+  pinned_lower[static_cast<std::size_t>(binding[1][38])] = 1.0;
+  pinned_lower[static_cast<std::size_t>(binding[2][39])] = 1.0;
+  EXPECT_NEAR(provider.makespan_bound(pinned_lower, upper, kDevices), kDuration,
+              1e-9);
+  EXPECT_NEAR(provider.objective_lower_bound(pinned_lower, upper),
+              kDuration + 2.0 * kNewDeviceCost, 1e-9);
+
+  // Pin all three tasks onto slot 39: one slot, occupation-serialized. The
+  // energetic bound must see a single-device group at bit 39.
+  auto serial_lower = lower;
+  for (int i = 0; i < kTasks; ++i) {
+    serial_lower[static_cast<std::size_t>(
+        binding[static_cast<std::size_t>(i)][39])] = 1.0;
+  }
+  EXPECT_NEAR(provider.makespan_bound(serial_lower, upper, kDevices),
+              2.0 * kOccupation + kDuration, 1e-9);
+}
 
 // --- dive ------------------------------------------------------------------
 

@@ -1,0 +1,202 @@
+#include "sim/event_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cohls::sim {
+namespace {
+
+Event make_event(std::int64_t at, EventType type = EventType::Start, std::int32_t key = 0,
+                 std::int32_t payload = 0) {
+  Event e;
+  e.at = at;
+  e.type = type;
+  e.key = key;
+  e.payload = payload;
+  return e;
+}
+
+std::vector<Event> drain(EventWheel& wheel, std::int64_t horizon) {
+  std::vector<Event> out;
+  while (std::optional<Event> e = wheel.next(horizon)) {
+    out.push_back(*e);
+  }
+  return out;
+}
+
+TEST(EventWheel, DrainsInTimeOrder) {
+  EventWheel wheel(8);
+  wheel.reset();
+  for (const std::int64_t at : {17, 3, 0, 99, 4, 3, 250}) {
+    wheel.post(make_event(at));
+  }
+  const std::vector<Event> events = drain(wheel, 1'000);
+  ASSERT_EQ(events.size(), 7u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+  EXPECT_EQ(events.front().at, 0);
+  EXPECT_EQ(events.back().at, 250);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(EventWheel, SameInstantPriorityIsTypeKeySeq) {
+  EventWheel wheel(16);
+  wheel.reset();
+  // Posted deliberately out of drain order.
+  wheel.post(make_event(5, EventType::Start, 2));
+  wheel.post(make_event(5, EventType::Exhaustion, 9));
+  wheel.post(make_event(5, EventType::DeviceFailure, 4));
+  wheel.post(make_event(5, EventType::Completion, 7));
+  wheel.post(make_event(5, EventType::DeviceFailure, 1));
+  wheel.post(make_event(5, EventType::DeviceFailure, 1));  // tie -> posting order
+
+  const std::vector<Event> events = drain(wheel, 10);
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].type, EventType::Completion);
+  EXPECT_EQ(events[1].type, EventType::DeviceFailure);
+  EXPECT_EQ(events[1].key, 1);
+  EXPECT_EQ(events[2].type, EventType::DeviceFailure);
+  EXPECT_EQ(events[2].key, 1);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[3].type, EventType::DeviceFailure);
+  EXPECT_EQ(events[3].key, 4);
+  EXPECT_EQ(events[4].type, EventType::Exhaustion);
+  EXPECT_EQ(events[5].type, EventType::Start);
+}
+
+TEST(EventWheel, HorizonGatesDelivery) {
+  EventWheel wheel(8);
+  wheel.reset();
+  wheel.post(make_event(2));
+  wheel.post(make_event(7));
+  wheel.post(make_event(30));
+
+  EXPECT_EQ(drain(wheel, 7).size(), 2u);
+  EXPECT_EQ(wheel.pending(), 1u);
+  // Events may be posted at or after the current clock while others wait.
+  wheel.post(make_event(8));
+  const std::vector<Event> rest = drain(wheel, 40);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].at, 8);
+  EXPECT_EQ(rest[1].at, 30);
+}
+
+TEST(EventWheel, CascadesFromCoarseAndOverflow) {
+  EventWheel wheel(4);  // fine window 4, coarse span 16: tiny on purpose
+  wheel.reset();
+  wheel.post(make_event(1));    // fine
+  wheel.post(make_event(9));    // coarse
+  wheel.post(make_event(14));   // coarse
+  wheel.post(make_event(77));   // overflow
+  wheel.post(make_event(300));  // overflow
+
+  const std::vector<Event> events = drain(wheel, 1'000);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].at, 1);
+  EXPECT_EQ(events[1].at, 9);
+  EXPECT_EQ(events[2].at, 14);
+  EXPECT_EQ(events[3].at, 77);
+  EXPECT_EQ(events[4].at, 300);
+  EXPECT_GE(wheel.stats().cascaded, 4u);
+  EXPECT_EQ(wheel.stats().overflowed, 2u);
+}
+
+TEST(EventWheel, MatchesSortedOrderOnRandomWorkload) {
+  EventWheel wheel(32);
+  Rng rng{123};
+  for (int round = 0; round < 5; ++round) {
+    wheel.reset();
+    std::vector<Event> posted;
+    for (int i = 0; i < 500; ++i) {
+      Event e = make_event(rng.uniform_int(0, 4'000),
+                           static_cast<EventType>(rng.uniform_int(0, 3)),
+                           static_cast<std::int32_t>(rng.uniform_int(0, 9)), i);
+      wheel.post(e);
+      e.seq = static_cast<std::uint32_t>(i);
+      posted.push_back(e);
+    }
+    std::stable_sort(posted.begin(), posted.end(), [](const Event& a, const Event& b) {
+      if (a.at != b.at) {
+        return a.at < b.at;
+      }
+      if (a.type != b.type) {
+        return a.type < b.type;
+      }
+      if (a.key != b.key) {
+        return a.key < b.key;
+      }
+      return a.seq < b.seq;
+    });
+    const std::vector<Event> drained = drain(wheel, 10'000);
+    ASSERT_EQ(drained.size(), posted.size());
+    for (std::size_t i = 0; i < posted.size(); ++i) {
+      EXPECT_EQ(drained[i].at, posted[i].at) << i;
+      EXPECT_EQ(drained[i].type, posted[i].type) << i;
+      EXPECT_EQ(drained[i].key, posted[i].key) << i;
+      EXPECT_EQ(drained[i].payload, posted[i].payload) << i;
+    }
+  }
+}
+
+TEST(EventWheel, ResetReplaysWithoutStalePendingAndKeepsStats) {
+  EventWheel wheel(8);
+  wheel.reset();
+  wheel.post(make_event(3));
+  wheel.post(make_event(900));
+  EXPECT_EQ(drain(wheel, 5).size(), 1u);
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  wheel.reset();
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.now(), 0);
+  wheel.post(make_event(2, EventType::Completion));
+  const std::vector<Event> events = drain(wheel, 10);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at, 2);
+
+  EXPECT_EQ(wheel.stats().posted, 3u);  // stats accumulate across resets
+  wheel.clear_stats();
+  EXPECT_EQ(wheel.stats().posted, 0u);
+}
+
+TEST(EventWheel, PostAtCurrentInstantIsDelivered) {
+  EventWheel wheel(8);
+  wheel.reset();
+  wheel.post(make_event(4));
+  const std::optional<Event> first = wheel.next(100);
+  ASSERT_TRUE(first.has_value());
+  // The clock sits just past 4 now; a post at now() must still drain.
+  wheel.post(make_event(wheel.now(), EventType::Completion));
+  const std::optional<Event> second = wheel.next(100);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->at, wheel.now() - 1);
+  EXPECT_THROW(wheel.post(make_event(0)), PreconditionError);
+}
+
+TEST(EventWheel, StatsMergeSumsAndPeaks) {
+  EventWheel::Stats a;
+  a.posted = 10;
+  a.popped = 8;
+  a.cascaded = 2;
+  a.overflowed = 1;
+  a.peak_pending = 5;
+  EventWheel::Stats b;
+  b.posted = 3;
+  b.popped = 3;
+  b.peak_pending = 9;
+  a.merge(b);
+  EXPECT_EQ(a.posted, 13u);
+  EXPECT_EQ(a.popped, 11u);
+  EXPECT_EQ(a.cascaded, 2u);
+  EXPECT_EQ(a.overflowed, 1u);
+  EXPECT_EQ(a.peak_pending, 9u);
+}
+
+}  // namespace
+}  // namespace cohls::sim

@@ -1,0 +1,207 @@
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+
+#include "assays/benchmarks.hpp"
+#include "core/progressive_resynthesis.hpp"
+#include "core/recovery.hpp"
+#include "util/rng.hpp"
+
+namespace cohls {
+namespace {
+
+struct Fixture {
+  model::Assay assay;
+  core::SynthesisReport report;
+};
+
+const Fixture& fixture() {
+  static const Fixture shared = [] {
+    core::SynthesisOptions options;
+    options.max_devices = 12;
+    options.layering.indeterminate_threshold = 3;
+    model::Assay assay = assays::gene_expression_assay(3);
+    core::SynthesisReport report = core::synthesize(assay, options);
+    return Fixture{std::move(assay), std::move(report)};
+  }();
+  return shared;
+}
+
+void expect_summary_identical(const sim::FleetSummary& a, const sim::FleetSummary& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.device_failed, b.device_failed);
+  EXPECT_EQ(a.attempts_exhausted, b.attempts_exhausted);
+  EXPECT_EQ(a.recovery_attempts, b.recovery_attempts);
+  EXPECT_EQ(a.recovered, b.recovered);
+  // Bit-identical reductions: exact double equality is the contract.
+  EXPECT_EQ(a.recovery_success_rate, b.recovery_success_rate);
+  EXPECT_EQ(a.mttf_minutes, b.mttf_minutes);
+  EXPECT_EQ(a.mean_completion_minutes, b.mean_completion_minutes);
+  EXPECT_EQ(a.histogram_min, b.histogram_min);
+  EXPECT_EQ(a.histogram_max, b.histogram_max);
+  EXPECT_EQ(a.completion_histogram, b.completion_histogram);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.wheel.posted, b.wheel.posted);
+  EXPECT_EQ(a.wheel.popped, b.wheel.popped);
+  EXPECT_EQ(a.wheel.cascaded, b.wheel.cascaded);
+  EXPECT_EQ(a.wheel.overflowed, b.wheel.overflowed);
+}
+
+TEST(Fleet, HappyPathFleetCompletesEveryRun) {
+  const Fixture& f = fixture();
+  sim::FleetOptions options;
+  options.runs = 64;
+  options.seed = 11;
+  const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
+  EXPECT_EQ(summary.runs, 64);
+  EXPECT_EQ(summary.completed, 64);
+  EXPECT_EQ(summary.device_failed, 0);
+  EXPECT_EQ(summary.attempts_exhausted, 0);
+  EXPECT_EQ(summary.mttf_minutes, 0.0);
+  EXPECT_GT(summary.mean_completion_minutes, 0.0);
+  // Summary replays post only break-capable events (failures, exhaustions);
+  // a fault-free fleet therefore consumes none at all.
+  EXPECT_EQ(summary.events, 0u);
+  ASSERT_FALSE(summary.completion_histogram.empty());
+  int binned = 0;
+  for (const int count : summary.completion_histogram) {
+    binned += count;
+  }
+  EXPECT_EQ(binned, 64);
+  EXPECT_GE(summary.histogram_max, summary.histogram_min);
+}
+
+TEST(Fleet, ReductionMatchesAManualReferenceLoop) {
+  const Fixture& f = fixture();
+  const sim::HazardModel hazard =
+      sim::parse_hazard_spec("exp:400", f.assay.registry());
+
+  sim::FleetOptions options;
+  options.runs = 48;
+  options.seed = 7;
+  options.hazard = hazard;
+  const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
+
+  // Re-derive the reduction with the three-pass reference simulator and the
+  // same per-run streams.
+  int completed = 0;
+  int broken = 0;
+  std::int64_t completion_sum = 0;
+  std::int64_t break_sum = 0;
+  for (int r = 0; r < options.runs; ++r) {
+    sim::RuntimeOptions runtime = options.runtime;
+    runtime.seed = derive_stream_seed(options.seed, 0x415454454D505453ULL,
+                                      static_cast<std::uint64_t>(r));
+    hazard.sample_into(runtime.faults, f.report.result.devices, options.seed,
+                       static_cast<std::uint64_t>(r),
+                       Minutes{std::numeric_limits<std::int64_t>::max()});
+    const sim::RunTrace trace =
+        sim::simulate_run_reference(f.report.result, f.assay, runtime);
+    if (trace.ok()) {
+      ++completed;
+      completion_sum += trace.completed_at.count();
+    } else {
+      ++broken;
+      break_sum += trace.completed_at.count();
+    }
+  }
+  EXPECT_GT(broken, 0) << "hazard scale chosen to break some of 48 runs";
+  EXPECT_EQ(summary.completed, completed);
+  EXPECT_EQ(summary.device_failed + summary.attempts_exhausted, broken);
+  EXPECT_EQ(summary.mttf_minutes,
+            broken > 0 ? static_cast<double>(break_sum) / broken : 0.0);
+  EXPECT_EQ(summary.mean_completion_minutes,
+            completed > 0 ? static_cast<double>(completion_sum) / completed : 0.0);
+}
+
+TEST(Fleet, ReductionIsBitIdenticalAcrossWorkerCounts) {
+  const Fixture& f = fixture();
+  sim::FleetOptions options;
+  options.runs = 64;
+  options.seed = 21;
+  options.hazard = sim::parse_hazard_spec("exp:500", f.assay.registry());
+
+  options.jobs = 1;
+  const sim::FleetSummary serial = sim::run_fleet(f.report.result, f.assay, options);
+  options.jobs = 4;
+  const sim::FleetSummary parallel = sim::run_fleet(f.report.result, f.assay, options);
+  options.jobs = 8;
+  const sim::FleetSummary wide = sim::run_fleet(f.report.result, f.assay, options);
+
+  EXPECT_GT(serial.device_failed, 0);
+  expect_summary_identical(serial, parallel);
+  expect_summary_identical(serial, wide);
+  // peak_pending is a per-wheel maximum, so it too must agree across
+  // partitions (every run resets the wheel; the max is over runs).
+  EXPECT_EQ(serial.wheel.peak_pending, parallel.wheel.peak_pending);
+  EXPECT_EQ(serial.wheel.peak_pending, wide.wheel.peak_pending);
+}
+
+TEST(Fleet, RecoveryProbeSeesEveryBrokenRun) {
+  const Fixture& f = fixture();
+  sim::FleetOptions options;
+  options.runs = 32;
+  options.seed = 3;
+  options.hazard = sim::parse_hazard_spec("exp:300", f.assay.registry());
+
+  std::atomic<int> probed{0};
+  options.recover = [&probed](const sim::RunTrace& trace) {
+    ++probed;
+    return trace.outcome == sim::RunOutcome::DeviceFailed;
+  };
+  const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
+  const int broken = summary.device_failed + summary.attempts_exhausted;
+  EXPECT_GT(broken, 0);
+  EXPECT_EQ(summary.recovery_attempts, broken);
+  EXPECT_EQ(probed.load(), broken);
+  EXPECT_EQ(summary.recovered, summary.device_failed);
+  EXPECT_EQ(summary.recovery_success_rate,
+            static_cast<double>(summary.recovered) / summary.recovery_attempts);
+}
+
+TEST(Fleet, ResynthesisRecoveryUnderHazards) {
+  // End-to-end: broken fleet runs feed the real recovery re-synthesizer.
+  const Fixture& f = fixture();
+  core::SynthesisOptions synth_options;
+  synth_options.max_devices = 12;
+  synth_options.layering.indeterminate_threshold = 3;
+
+  sim::FleetOptions options;
+  options.runs = 12;
+  options.seed = 5;
+  options.jobs = 2;
+  options.hazard = sim::parse_hazard_spec("exp:250", f.assay.registry());
+  options.recover = [&](const sim::RunTrace& trace) {
+    return core::recover(f.assay, f.report.result, trace, synth_options).recovered;
+  };
+  const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
+  EXPECT_GT(summary.recovery_attempts, 0);
+  EXPECT_GE(summary.recovery_attempts, summary.recovered);
+}
+
+TEST(Fleet, SixtyFourRunParallelSweepIsRaceFree) {
+  // The TSan CI step drives this test: 64 runs across 8 workers with
+  // hazards and a trace-materializing recovery probe.
+  const Fixture& f = fixture();
+  sim::FleetOptions options;
+  options.runs = 64;
+  options.seed = 17;
+  options.jobs = 8;
+  options.hazard = sim::parse_hazard_spec("exp:350", f.assay.registry());
+  std::atomic<int> probed{0};
+  options.recover = [&probed](const sim::RunTrace& trace) {
+    ++probed;
+    return !trace.layers.empty();
+  };
+  const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
+  EXPECT_EQ(summary.runs, 64);
+  EXPECT_EQ(summary.completed + summary.device_failed + summary.attempts_exhausted, 64);
+  EXPECT_EQ(probed.load(), summary.recovery_attempts);
+}
+
+}  // namespace
+}  // namespace cohls

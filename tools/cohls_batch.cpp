@@ -23,6 +23,22 @@
 //                          fault plan; broken runs go through degraded-mode
 //                          recovery and report run-failed when unrecoverable
 //   --simulate-seed N      seed of the fault-injection replay (default 1)
+//   --fleet N              Monte-Carlo fleet: replay every certified
+//                          schedule N times with per-run derived seeds and
+//                          reduce into MTTF, recovery success rate, and a
+//                          completion-time histogram (reported in the
+//                          results JSON under "fleet")
+//   --hazard SPEC          sample per-device failure times into every fleet
+//                          run; SPEC is ';'-separated clauses of
+//                          "[target=]exp:scale" or
+//                          "[target=]weibull:scale,shape" where target is an
+//                          accessory name or "default" (e.g.
+//                          "exp:5000; heating-pad=weibull:2000,1.5")
+//   --fleet-seed N         fleet master seed (default 1); run r derives its
+//                          streams from (seed, r), so summaries are
+//                          bit-identical for any --jobs value
+//   --fleet-recover        probe degraded-mode recovery on every broken
+//                          fleet run (reports the recovery success rate)
 //   --save-results DIR     write each result as DIR/<name>.result
 //   --results-json FILE    write the per-job results document (same content
 //                          as --diag-format=json) to FILE
@@ -86,6 +102,10 @@ struct CliOptions {
   std::string metrics_json_path;
   std::string fault_plan_path;
   std::uint64_t simulate_seed = 1;
+  int fleet_runs = 0;
+  std::string hazard_spec;
+  std::uint64_t fleet_seed = 1;
+  bool fleet_recover = false;
   diag::Format diag_format = diag::Format::Text;
 };
 
@@ -102,7 +122,9 @@ void handle_sigint(int) { g_interrupted = 1; }
                " [--transport N] [--conventional] [--deadline S]"
                " [--cache-capacity N] [--no-cache] [--verify-cache]"
                " [--repeat N] [--retries N] [--stall S] [--inject-faults FILE]"
-               " [--simulate-seed N] [--save-results DIR] [--results-json FILE]"
+               " [--simulate-seed N] [--fleet N] [--hazard SPEC]"
+               " [--fleet-seed N] [--fleet-recover]"
+               " [--save-results DIR] [--results-json FILE]"
                " [--metrics-json FILE] [--no-lint] [--lint-only] [--Werror]"
                " [--diag-format=text|json]\n";
   std::exit(2);
@@ -158,6 +180,14 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.fault_plan_path = string_arg(argc, argv, i);
     } else if (arg == "--simulate-seed") {
       cli.simulate_seed = static_cast<std::uint64_t>(numeric_arg(argc, argv, i));
+    } else if (arg == "--fleet") {
+      cli.fleet_runs = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--hazard") {
+      cli.hazard_spec = string_arg(argc, argv, i);
+    } else if (arg == "--fleet-seed") {
+      cli.fleet_seed = static_cast<std::uint64_t>(numeric_arg(argc, argv, i));
+    } else if (arg == "--fleet-recover") {
+      cli.fleet_recover = true;
     } else if (arg == "--save-results") {
       cli.save_results_dir = string_arg(argc, argv, i);
     } else if (arg == "--results-json") {
@@ -268,6 +298,10 @@ int main(int argc, char** argv) {
     job.deadline_seconds = cli.deadline_seconds;
     job.fault_plan = fault_plan;
     job.simulate_seed = cli.simulate_seed;
+    job.fleet_runs = cli.fleet_runs;
+    job.hazard_spec = cli.hazard_spec;
+    job.fleet_seed = cli.fleet_seed;
+    job.fleet_recover = cli.fleet_recover;
   }
   if (jobs.empty()) {
     std::cerr << "manifest is empty: " << cli.manifest_path << "\n";
@@ -329,6 +363,26 @@ int main(int argc, char** argv) {
           std::cerr << row.name
                     << ": degraded: stalled synthesis fell back to the"
                        " list-scheduling heuristic\n";
+        }
+        if (row.fleet.has_value()) {
+          std::ostringstream fleet_line;
+          fleet_line.precision(3);
+          fleet_line << row.name << ": fleet " << row.fleet->runs << " runs, "
+                     << row.fleet->completed << " completed, "
+                     << row.fleet->device_failed << " device-failed, "
+                     << row.fleet->attempts_exhausted << " exhausted";
+          if (row.fleet->device_failed + row.fleet->attempts_exhausted > 0) {
+            fleet_line << ", MTTF " << row.fleet->mttf_minutes << "m";
+          }
+          if (row.fleet->recovery_attempts > 0) {
+            fleet_line << ", recovery rate "
+                       << row.fleet->recovery_success_rate;
+          }
+          if (row.fleet->completed > 0) {
+            fleet_line << ", mean completion "
+                       << row.fleet->mean_completion_minutes << "m";
+          }
+          std::cout << fleet_line.str() << "\n";
         }
         if (row.recovery_attempted) {
           std::cerr << row.name << ": fault replay " << row.run_outcome
