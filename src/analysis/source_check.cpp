@@ -1,0 +1,656 @@
+#include "analysis/source_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace cohls::analysis {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 1;
+  int column = 1;
+  bool is_identifier = false;
+};
+
+struct Comment {
+  std::string text;
+  int line = 1;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  /// Lines that carry at least one token (for attaching suppression
+  /// directives to the next code line).
+  std::set<int> code_lines;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Comments and string/char literals are stripped (comments are kept aside
+/// for suppression directives); `::` is fused into one token; every other
+/// punctuation character is its own token.
+Lexed lex(std::string_view text) {
+  Lexed out;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int at = line;
+      std::size_t j = i;
+      while (j < n && text[j] != '\n') {
+        ++j;
+      }
+      out.comments.push_back(Comment{std::string(text.substr(i, j - i)), at});
+      advance(j - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int at = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        ++j;
+      }
+      j = std::min(j + 2, n);
+      out.comments.push_back(Comment{std::string(text.substr(i, j - i)), at});
+      advance(j - i);
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (out.tokens.empty() || out.tokens.back().text != "#")) {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') {
+        delim.push_back(text[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = text.find(closer, j);
+      advance((end == std::string_view::npos ? n : end + closer.size()) - i);
+      continue;
+    }
+    // String / char literal (with escapes). A digit separator like 1'000 is
+    // consumed by the number path below, so a quote here is a real literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        j += text[j] == '\\' ? 2 : 1;
+      }
+      advance(std::min(j + 1, n) - i);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(text[j])) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{std::string(text.substr(i, j - i)), line, column, true});
+      out.code_lines.insert(line);
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (is_ident_char(text[j]) || text[j] == '.' ||
+                       (text[j] == '\'' && j + 1 < n && is_ident_char(text[j + 1])))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{std::string(text.substr(i, j - i)), line, column, false});
+      out.code_lines.insert(line);
+      advance(j - i);
+      continue;
+    }
+    if ((c == ':' && i + 1 < n && text[i + 1] == ':') ||
+        (c == '-' && i + 1 < n && text[i + 1] == '>')) {
+      out.tokens.push_back(
+          Token{std::string(text.substr(i, 2)), line, column, false});
+      out.code_lines.insert(line);
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back(Token{std::string(1, c), line, column, false});
+    out.code_lines.insert(line);
+    advance(1);
+  }
+  return out;
+}
+
+/// Normalizes "COHLS-S104" / "S104" to "S104"; empty when not an S-code.
+std::string normalize_code(std::string_view code) {
+  if (code.rfind("COHLS-", 0) == 0) {
+    code.remove_prefix(6);
+  }
+  if (code.size() >= 2 && code[0] == 'S' &&
+      std::all_of(code.begin() + 1, code.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      })) {
+    return std::string(code);
+  }
+  return {};
+}
+
+struct Suppressions {
+  std::set<std::string> file_codes;
+  std::map<int, std::set<std::string>> line_codes;
+
+  [[nodiscard]] bool allows(int line, std::string_view full_code) const {
+    const std::string code = normalize_code(full_code);
+    if (file_codes.count(code) > 0) {
+      return true;
+    }
+    const auto it = line_codes.find(line);
+    return it != line_codes.end() && it->second.count(code) > 0;
+  }
+};
+
+/// Parses `cohls-check: allow(...)` / `allow-file(...)` directives. A line
+/// directive covers its own line and the next line that carries code (so a
+/// comment directly above a declaration covers it, even when the comment
+/// wraps).
+Suppressions parse_suppressions(const Lexed& lexed) {
+  Suppressions out;
+  for (const Comment& comment : lexed.comments) {
+    const std::size_t at = comment.text.find("cohls-check:");
+    if (at == std::string::npos) {
+      continue;
+    }
+    std::string_view rest = std::string_view(comment.text).substr(at + 12);
+    const bool file_wide = rest.find("allow-file(") != std::string_view::npos;
+    const std::size_t open = rest.find('(');
+    const std::size_t close = rest.find(')', open);
+    if (open == std::string_view::npos || close == std::string_view::npos) {
+      continue;
+    }
+    std::set<std::string> codes;
+    std::string_view list = rest.substr(open + 1, close - open - 1);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t end = list.find(',', start);
+      if (end == std::string_view::npos) {
+        end = list.size();
+      }
+      std::string_view item = list.substr(start, end - start);
+      while (!item.empty() && item.front() == ' ') {
+        item.remove_prefix(1);
+      }
+      while (!item.empty() && item.back() == ' ') {
+        item.remove_suffix(1);
+      }
+      const std::string code = normalize_code(item);
+      if (!code.empty()) {
+        codes.insert(code);
+      }
+      start = end + 1;
+    }
+    if (codes.empty()) {
+      continue;
+    }
+    if (file_wide) {
+      out.file_codes.insert(codes.begin(), codes.end());
+      continue;
+    }
+    out.line_codes[comment.line].insert(codes.begin(), codes.end());
+    const auto next = lexed.code_lines.upper_bound(comment.line);
+    if (next != lexed.code_lines.end()) {
+      out.line_codes[*next].insert(codes.begin(), codes.end());
+    }
+  }
+  return out;
+}
+
+bool path_in(const std::string& path, const std::vector<std::string>& fragments) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  return std::any_of(fragments.begin(), fragments.end(),
+                     [&](const std::string& fragment) {
+                       return normalized.find(fragment) != std::string::npos;
+                     });
+}
+
+class Checker {
+ public:
+  Checker(std::string path, const Lexed& lexed, const SourceCheckOptions& options)
+      : path_(std::move(path)),
+        tokens_(lexed.tokens),
+        suppressions_(parse_suppressions(lexed)),
+        options_(options) {}
+
+  std::vector<diag::Diagnostic> run() {
+    collect_unordered_names();
+    scan();
+    diag::sort_by_location(findings_);
+    return std::move(findings_);
+  }
+
+ private:
+  void emit(const char* code, const Token& at, std::string message,
+            std::string fixit = {}) {
+    if (suppressions_.allows(at.line, code)) {
+      return;
+    }
+    diag::Diagnostic d;
+    d.code = code;
+    d.severity = options_.warnings_as_errors ? diag::Severity::Error
+                                             : diag::Severity::Warning;
+    d.message = std::move(message);
+    d.span = diag::Span{at.line, at.column};
+    d.fixit = std::move(fixit);
+    findings_.push_back(std::move(d));
+  }
+
+  [[nodiscard]] const Token& tok(std::size_t i) const { return tokens_[i]; }
+  [[nodiscard]] bool is(std::size_t i, std::string_view text) const {
+    return i < tokens_.size() && tokens_[i].text == text;
+  }
+
+  [[nodiscard]] static bool is_unordered_container(std::string_view name) {
+    return name == "unordered_map" || name == "unordered_set" ||
+           name == "unordered_multimap" || name == "unordered_multiset";
+  }
+
+  /// Index just past a balanced group opened by the bracket at `open`.
+  [[nodiscard]] std::size_t skip_group(std::size_t open, char open_char,
+                                       char close_char) const {
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < tokens_.size(); ++i) {
+      if (tokens_[i].text.size() == 1) {
+        if (tokens_[i].text[0] == open_char) {
+          ++depth;
+        } else if (tokens_[i].text[0] == close_char && --depth == 0) {
+          return i + 1;
+        }
+      }
+    }
+    return i;
+  }
+
+  // --- S101: names declared with an unordered container type ---------------
+
+  void collect_unordered_names() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!tok(i).is_identifier || !is_unordered_container(tok(i).text) ||
+          !is(i + 1, "<")) {
+        continue;
+      }
+      std::size_t j = skip_angles(i + 1);
+      while (is(j, "*") || is(j, "&") || is(j, "const")) {
+        ++j;
+      }
+      if (j >= tokens_.size() || !tok(j).is_identifier) {
+        continue;
+      }
+      const std::string& name = tok(j).text;
+      if (is(j + 1, ";") || is(j + 1, "=") || is(j + 1, "{") || is(j + 1, ",") ||
+          is(j + 1, ")") || is(j + 1, "COHLS_GUARDED_BY")) {
+        unordered_names_.insert(name);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t skip_angles(std::size_t open) const {
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < tokens_.size(); ++i) {
+      if (tokens_[i].text == "<") {
+        ++depth;
+      } else if (tokens_[i].text == ">" && --depth == 0) {
+        return i + 1;
+      } else if (tokens_[i].text == ";") {
+        break;  // malformed / not a template argument list
+      }
+    }
+    return i;
+  }
+
+  void check_range_for(std::size_t for_index) {
+    const std::size_t open = for_index + 1;
+    const std::size_t end = skip_group(open, '(', ')');
+    int depth = 0;
+    std::size_t colon = 0;
+    for (std::size_t i = open; i < end; ++i) {
+      if (is(i, "(")) {
+        ++depth;
+      } else if (is(i, ")")) {
+        --depth;
+      } else if (depth == 1 && is(i, ";")) {
+        return;  // classic three-clause for
+      } else if (depth == 1 && is(i, ":") && colon == 0) {
+        colon = i;
+      }
+    }
+    if (colon == 0 || end < 2) {
+      return;
+    }
+    const Token& last = tok(end - 2);  // end-1 is the closing ')'
+    if (last.is_identifier && unordered_names_.count(last.text) > 0) {
+      emit(diag::codes::kUnorderedIteration, last,
+           "range-for over unordered container '" + last.text +
+               "' — iteration order varies across runs, libraries and shard "
+               "layouts",
+           "iterate an ordered projection instead (sorted key copy, std::map, "
+           "or a call returning an ordered view)");
+    }
+  }
+
+  // --- S102 / S103: forbidden randomness and wall clocks --------------------
+
+  void check_random(std::size_t i) {
+    if (path_in(path_, options_.random_allowlist)) {
+      return;
+    }
+    const std::string& name = tok(i).text;
+    if (i > 0 && (is(i - 1, ".") || is(i - 1, "->"))) {
+      return;  // member named like a libc function, not the libc function
+    }
+    const bool call_only =
+        name == "rand" || name == "srand" || name == "drand48" ||
+        name == "random_shuffle";
+    if (name == "random_device" || (call_only && is(i + 1, "("))) {
+      emit(diag::codes::kForbiddenRandomSource, tok(i),
+           "direct random source '" + name +
+               "' outside util/rng — results would differ between runs",
+           "draw from util::Rng counter-based streams (seeded, replayable)");
+    }
+  }
+
+  void check_wall_clock(std::size_t i) {
+    if (path_in(path_, options_.wall_clock_allowlist)) {
+      return;
+    }
+    const std::string& name = tok(i).text;
+    const bool call_only = name == "gettimeofday" || name == "clock_gettime" ||
+                           name == "timespec_get";
+    if (name == "system_clock" || (call_only && is(i + 1, "("))) {
+      emit(diag::codes::kForbiddenWallClock, tok(i),
+           "wall-clock read '" + name +
+               "' outside the timing allowlist — calendar time makes runs "
+               "unreproducible",
+           "use std::chrono::steady_clock for intervals, or pass timestamps "
+           "in from the caller");
+    }
+  }
+
+  // --- S104: mutex members without GUARDED_BY in the class ------------------
+
+  struct ClassScope {
+    int open_depth = 0;
+    bool has_guard = false;
+    std::vector<Token> mutex_members;
+  };
+
+  /// Returns the token index of the class body '{' when the class/struct at
+  /// `i` introduces one (skipping annotation-macro parens and base lists);
+  /// 0 otherwise (forward declaration, enum class, elaborated type).
+  [[nodiscard]] std::size_t class_body_open(std::size_t i) const {
+    if (i > 0 && is(i - 1, "enum")) {
+      return 0;
+    }
+    for (std::size_t j = i + 1; j < tokens_.size();) {
+      if (is(j, "(")) {
+        j = skip_group(j, '(', ')');
+      } else if (is(j, "{")) {
+        return j;
+      } else if (is(j, ";") || is(j, "=") || is(j, ")") || is(j, ",") ||
+                 is(j, ">")) {
+        return 0;  // fwd decl / elaborated type in a declaration
+      } else {
+        ++j;
+      }
+    }
+    return 0;
+  }
+
+  /// Matches a mutex type at `i`; returns the index just past the type
+  /// tokens, or 0 when no mutex type starts here.
+  [[nodiscard]] std::size_t match_mutex_type(std::size_t i) const {
+    if (is(i, "std") && is(i + 1, "::") &&
+        (is(i + 2, "mutex") || is(i + 2, "shared_mutex"))) {
+      return i + 3;
+    }
+    if (is(i, "util") && is(i + 1, "::") &&
+        (is(i + 2, "Mutex") || is(i + 2, "SharedMutex"))) {
+      return i + 3;
+    }
+    if ((is(i, "Mutex") || is(i, "SharedMutex")) &&
+        !(i > 0 && is(i - 1, "::")) && !is(i + 1, "::")) {
+      return i + 1;
+    }
+    return 0;
+  }
+
+  void check_mutex_member(std::size_t i, const ClassScope& scope,
+                          int brace_depth, std::vector<Token>& out) {
+    if (brace_depth != scope.open_depth) {
+      return;  // inside a member function body, not a member declaration
+    }
+    const std::size_t after_type = match_mutex_type(i);
+    if (after_type == 0) {
+      return;
+    }
+    // Only value members: a `Mutex&` / `Mutex*` member borrows a capability
+    // owned (and GUARDED_BY-documented) elsewhere — scoped locks hold these.
+    const std::size_t j = after_type;
+    if (j < tokens_.size() && tok(j).is_identifier &&
+        (is(j + 1, ";") || is(j + 1, "{"))) {
+      out.push_back(tok(j));
+    }
+  }
+
+  // --- S105: throw inside worker lambdas ------------------------------------
+
+  /// Scans the lambda body starting at its '{' for a `throw` not covered by
+  /// a `try` block within the lambda.
+  void check_lambda_body(std::size_t body_open) {
+    int depth = 0;
+    std::vector<int> try_blocks;
+    bool pending_try = false;
+    for (std::size_t i = body_open; i < tokens_.size(); ++i) {
+      if (is(i, "{")) {
+        ++depth;
+        if (pending_try) {
+          try_blocks.push_back(depth);
+          pending_try = false;
+        }
+      } else if (is(i, "}")) {
+        if (!try_blocks.empty() && try_blocks.back() == depth) {
+          try_blocks.pop_back();
+        }
+        if (--depth == 0) {
+          return;
+        }
+      } else if (is(i, "try")) {
+        pending_try = true;
+      } else if (is(i, "throw") && try_blocks.empty()) {
+        emit(diag::codes::kThrowInWorkerBody, tok(i),
+             "throw inside a worker lambda with no enclosing try — an "
+             "escaping exception tears down the worker thread",
+             "catch at the lambda boundary and convert to a reported status");
+      }
+    }
+  }
+
+  /// Looks for lambda arguments inside the group opened at `open` and checks
+  /// each one's body.
+  void check_worker_group(std::size_t open) {
+    const std::size_t end = skip_group(open, '(', ')');
+    for (std::size_t i = open; i < end; ++i) {
+      if (!is(i, "[")) {
+        continue;
+      }
+      std::size_t j = skip_group(i, '[', ']');
+      while (j < end && !is(j, "{") && !is(j, ",") && !is(j, ")")) {
+        if (is(j, "(")) {
+          j = skip_group(j, '(', ')');  // lambda parameter list
+        } else {
+          ++j;
+        }
+      }
+      if (j < end && is(j, "{")) {
+        check_lambda_body(j);
+        i = skip_group(j, '{', '}');
+      }
+    }
+  }
+
+  // --- driver ---------------------------------------------------------------
+
+  void scan() {
+    std::vector<ClassScope> classes;
+    std::set<std::size_t> class_opens;
+    int brace_depth = 0;
+
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.text == "{") {
+        ++brace_depth;
+        if (class_opens.count(i) > 0) {
+          classes.push_back(ClassScope{brace_depth, false, {}});
+        }
+        continue;
+      }
+      if (t.text == "}") {
+        if (!classes.empty() && classes.back().open_depth == brace_depth) {
+          const ClassScope& scope = classes.back();
+          if (!scope.has_guard) {
+            for (const Token& member : scope.mutex_members) {
+              emit(diag::codes::kUnguardedMutexMember, member,
+                   "mutex member '" + member.text +
+                       "' has no COHLS_GUARDED_BY-annotated sibling — the "
+                       "state it protects is invisible to thread-safety "
+                       "analysis",
+                   "annotate the protected members with "
+                   "COHLS_GUARDED_BY(" + member.text + ")");
+            }
+          }
+          classes.pop_back();
+        }
+        --brace_depth;
+        continue;
+      }
+      if (!t.is_identifier) {
+        continue;
+      }
+      if (t.text == "class" || t.text == "struct") {
+        const std::size_t body = class_body_open(i);
+        if (body != 0) {
+          class_opens.insert(body);
+        }
+        continue;
+      }
+      if (t.text == "COHLS_GUARDED_BY" || t.text == "COHLS_PT_GUARDED_BY" ||
+          t.text == "GUARDED_BY" || t.text == "PT_GUARDED_BY") {
+        if (!classes.empty()) {
+          classes.back().has_guard = true;
+        }
+        continue;
+      }
+      if (t.text == "for" && is(i + 1, "(")) {
+        check_range_for(i);
+        continue;
+      }
+      if (!classes.empty()) {
+        check_mutex_member(i, classes.back(), brace_depth,
+                           classes.back().mutex_members);
+      }
+      check_random(i);
+      check_wall_clock(i);
+      if (t.text == "submit" && is(i + 1, "(") && i > 0 &&
+          (is(i - 1, ".") || is(i - 1, "->"))) {
+        check_worker_group(i + 1);
+        continue;
+      }
+      if (t.text == "std" && is(i + 1, "::") && is(i + 2, "thread")) {
+        std::size_t open = i + 3;
+        if (open < tokens_.size() && tok(open).is_identifier) {
+          ++open;  // named variable: std::thread worker(...)
+        }
+        if (is(open, "(")) {
+          check_worker_group(open);
+        } else if (is(open, "{")) {
+          const std::size_t end = skip_group(open, '{', '}');
+          // Brace-init: reuse the paren scanner semantics over the group.
+          for (std::size_t k = open; k < end; ++k) {
+            if (is(k, "[")) {
+              check_worker_group(open);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::string path_;
+  const std::vector<Token>& tokens_;
+  Suppressions suppressions_;
+  SourceCheckOptions options_;
+  std::set<std::string> unordered_names_;
+  std::vector<diag::Diagnostic> findings_;
+};
+
+}  // namespace
+
+std::vector<diag::Diagnostic> check_source(std::string_view path,
+                                           std::string_view text,
+                                           const SourceCheckOptions& options) {
+  const Lexed lexed = lex(text);
+  Checker checker(std::string(path), lexed, options);
+  return checker.run();
+}
+
+std::vector<CheckedFile> check_files(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const SourceCheckOptions& options) {
+  std::vector<CheckedFile> out;
+  out.reserve(files.size());
+  for (const auto& [path, text] : files) {
+    out.push_back(CheckedFile{path, check_source(path, text, options)});
+  }
+  return out;
+}
+
+const std::vector<std::string>& source_check_codes() {
+  static const std::vector<std::string> codes = {
+      diag::codes::kUnorderedIteration,  diag::codes::kForbiddenRandomSource,
+      diag::codes::kForbiddenWallClock,  diag::codes::kUnguardedMutexMember,
+      diag::codes::kThrowInWorkerBody,
+  };
+  return codes;
+}
+
+}  // namespace cohls::analysis

@@ -1,0 +1,83 @@
+// cohls_check: a token-level static checker for this repository's own C++
+// sources. It enforces concurrency/determinism invariants that no
+// off-the-shelf tool knows about, emitting stable COHLS-S1xx codes through
+// the shared diag catalog (text + JSON, same emitters as the assay linter
+// and the schedule certifier):
+//
+//   S101  range-for over a std::unordered_{map,set,multimap,multiset}
+//         variable. Unordered iteration order varies across libraries, runs
+//         and shard layouts, so any serialization / reduction / hashing that
+//         walks one is nondeterministic. Iterate an ordered projection
+//         instead (a sorted copy, a std::map, or a call that returns an
+//         ordered view — a range expression ending in a call is accepted).
+//   S102  direct random sources (rand, srand, drand48, random_shuffle,
+//         std::random_device) outside util/rng. All randomness must flow
+//         through util::Rng's counter-based streams so runs replay.
+//   S103  wall-clock reads (std::chrono::system_clock, gettimeofday,
+//         clock_gettime, timespec_get) outside the timing allowlist.
+//         steady_clock is fine (deadlines/latency); calendar time is not.
+//   S104  a class declaring a mutex member by value (std::mutex,
+//         std::shared_mutex, util::Mutex, util::SharedMutex) without any
+//         COHLS_GUARDED_BY / COHLS_PT_GUARDED_BY annotation in the same
+//         class body — the state the mutex protects is invisible to clang's
+//         thread-safety analysis. Reference/pointer members are exempt:
+//         they borrow a capability owned (and documented) elsewhere, which
+//         is exactly what scoped locks do.
+//   S105  a literal `throw` inside a worker lambda (an argument of
+//         ThreadPool::submit / std::thread construction) with no enclosing
+//         try block in the lambda itself. Escaping exceptions terminate the
+//         worker (or the process); catch at the lambda boundary.
+//
+// Suppressions: `// cohls-check: allow(S101)` (comma lists and full
+// "COHLS-S101" spellings accepted, optional `: reason` tail) suppresses the
+// listed codes on the directive's line and on the next code line;
+// `// cohls-check: allow-file(S103): reason` suppresses for the whole file.
+//
+// The checker is deliberately lexical: it tokenizes (comments and string
+// literals stripped, `::` fused), so it is fast, has no compiler
+// dependency, and its verdicts are stable — at the cost of not resolving
+// types. The rules are tuned so the lexical approximation errs on the loud
+// side and every intended escape is an explicit, reviewable suppression.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "diag/diagnostic.hpp"
+
+namespace cohls::analysis {
+
+struct SourceCheckOptions {
+  /// Files whose (slash-normalized) path contains one of these fragments may
+  /// use direct random sources (S102).
+  std::vector<std::string> random_allowlist = {"util/rng."};
+  /// Files allowed to read wall clocks (S103). Empty by default: nothing in
+  /// src/ needs calendar time today; additions are a reviewed decision.
+  std::vector<std::string> wall_clock_allowlist = {};
+  /// Report warnings as errors (--Werror).
+  bool warnings_as_errors = false;
+};
+
+/// Checks one file's text. `path` is used for allowlists and for the file
+/// prefix of rendered diagnostics; diagnostics carry 1-based line/column
+/// spans into `text`. Sorted by location.
+[[nodiscard]] std::vector<diag::Diagnostic> check_source(
+    std::string_view path, std::string_view text,
+    const SourceCheckOptions& options = {});
+
+/// A checked file with its findings (empty = clean).
+struct CheckedFile {
+  std::string path;
+  std::vector<diag::Diagnostic> diagnostics;
+};
+
+/// Convenience for tests and the CLI: checks many (path, text) pairs.
+[[nodiscard]] std::vector<CheckedFile> check_files(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const SourceCheckOptions& options = {});
+
+/// All rule codes the checker can emit, in catalog order.
+[[nodiscard]] const std::vector<std::string>& source_check_codes();
+
+}  // namespace cohls::analysis

@@ -12,6 +12,7 @@
 //   COHLS-W1xx  lint warnings
 //   COHLS-E2xx  certifier errors (schedule-level, post-solve)
 //   COHLS-E3xx  recovery errors (degraded-chip re-synthesis, at run time)
+//   COHLS-S1xx  source-checker findings (cohls_check over this repo's C++)
 #pragma once
 
 #include <optional>
@@ -105,6 +106,16 @@ inline constexpr const char* kRecoveryUnbindable = "COHLS-E301";
 inline constexpr const char* kRecoveryInvalidContinuation = "COHLS-E302";
 inline constexpr const char* kRecoveryPinViolation = "COHLS-E303";
 inline constexpr const char* kRecoveryNoFailure = "COHLS-E304";
+
+// -- source checker (S1xx) ---------------------------------------------------
+// Emitted by analysis::check_source (the cohls_check repo linter) over this
+// codebase's own C++ sources. These enforce concurrency/determinism
+// invariants no off-the-shelf tool knows; see the README rule catalog.
+inline constexpr const char* kUnorderedIteration = "COHLS-S101";
+inline constexpr const char* kForbiddenRandomSource = "COHLS-S102";
+inline constexpr const char* kForbiddenWallClock = "COHLS-S103";
+inline constexpr const char* kUnguardedMutexMember = "COHLS-S104";
+inline constexpr const char* kThrowInWorkerBody = "COHLS-S105";
 
 }  // namespace codes
 

@@ -152,7 +152,8 @@ int arbitrated_milp_threads(int requested, int jobs, unsigned hardware_threads) 
 
 BatchEngine::BatchEngine(BatchOptions options)
     : options_(options),
-      cache_(options.cache_capacity > 0 ? options.cache_capacity : 1) {
+      cache_(options.cache_capacity > 0 ? options.cache_capacity : 1,
+             options.cache_shards) {
   cache_.set_verify_hits(options_.verify_cache_hits);
 }
 
@@ -403,7 +404,7 @@ std::vector<BatchResult> BatchEngine::run(const std::vector<BatchJob>& jobs) {
   std::vector<BatchResult> rows(jobs.size());
   ThreadPool pool(options_.jobs);
   {
-    std::lock_guard lock(pool_mutex_);
+    util::MutexLock lock(pool_mutex_);
     active_pool_ = &pool;
   }
 
@@ -436,14 +437,14 @@ std::vector<BatchResult> BatchEngine::run(const std::vector<BatchJob>& jobs) {
     }
   }
   {
-    std::lock_guard lock(pool_mutex_);
+    util::MutexLock lock(pool_mutex_);
     active_pool_ = nullptr;
   }
   return rows;
 }
 
 void BatchEngine::stop() {
-  std::lock_guard lock(pool_mutex_);
+  util::MutexLock lock(pool_mutex_);
   if (active_pool_ != nullptr) {
     active_pool_->stop();
   }
@@ -484,7 +485,7 @@ std::string BatchEngine::metrics_json() const {
   return out.str();
 }
 
-std::string results_json(const std::vector<BatchResult>& rows) {
+std::string results_json(const std::vector<BatchResult>& rows, bool stable) {
   std::ostringstream out;
   out << "{\"jobs\": [";
   bool first_row = true;
@@ -493,7 +494,8 @@ std::string results_json(const std::vector<BatchResult>& rows) {
         << diag::escape_json(row.name) << "\", \"status\": \""
         << to_string(row.status) << "\", \"detail\": \""
         << diag::escape_json(row.detail) << "\", \"wall_seconds\": "
-        << row.wall_seconds << ", \"summary\": {\"execution_time\": \""
+        << (stable ? 0.0 : row.wall_seconds)
+        << ", \"summary\": {\"execution_time\": \""
         << diag::escape_json(row.summary.execution_time)
         << "\", \"devices\": " << row.summary.devices
         << ", \"paths\": " << row.summary.paths

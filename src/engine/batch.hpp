@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +17,8 @@
 #include "engine/metrics.hpp"
 #include "engine/thread_pool.hpp"
 #include "sim/fleet.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cohls::engine {
 
@@ -115,6 +116,10 @@ struct BatchOptions {
   int jobs = 1;
   /// Layer-solution cache capacity (entries); 0 disables the cache.
   std::size_t cache_capacity = 4096;
+  /// Lock shards inside the layer cache. Purely a contention knob: hit/miss
+  /// behaviour, reported stats and results are identical for any value
+  /// (tests sweep this to prove it).
+  int cache_shards = 16;
   /// Replace wall-clock MILP budgets with node budgets, so a layer solve
   /// returns the same result regardless of machine load. Required for the
   /// cache to be sound and for --jobs N determinism; disable only for
@@ -191,15 +196,22 @@ class BatchEngine {
   MetricsRegistry metrics_;
   LayerSolutionCache cache_;
   /// The pool of the run() in flight, so stop() can reach it.
-  mutable std::mutex pool_mutex_;
-  ThreadPool* active_pool_ = nullptr;
+  mutable util::Mutex pool_mutex_;
+  ThreadPool* active_pool_ COHLS_GUARDED_BY(pool_mutex_) = nullptr;
 };
 
 /// Renders batch results as a JSON document: one object per job with name,
 /// status, detail, wall_seconds, the summary block, and a `diagnostics`
 /// array (diag::json_object per entry). This is the machine-readable
 /// counterpart of the cohls_batch table.
-[[nodiscard]] std::string results_json(const std::vector<BatchResult>& rows);
+///
+/// With `stable` set, timing fields (wall_seconds — the only nondeterministic
+/// bytes in the document) are emitted as 0, making the rendering
+/// byte-identical across repeat runs, shard layouts and --jobs values
+/// whenever the results themselves are (see the engine's determinism
+/// guarantee). Tests and diffable artifacts use this mode.
+[[nodiscard]] std::string results_json(const std::vector<BatchResult>& rows,
+                                       bool stable = false);
 
 /// Parses a manifest: one assay-file path per line, '#' comments and blank
 /// lines ignored; relative paths resolve against `base_dir`.

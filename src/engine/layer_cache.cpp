@@ -120,7 +120,7 @@ std::optional<core::LayerOutcome> LayerSolutionCache::lookup(
   Shard& shard = shard_for(signature.hash);
   std::optional<CachedSolution> found;
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     const auto it = shard.index.find(std::string_view{signature.text});
     if (it == shard.index.end()) {
       ++shard.misses;
@@ -152,7 +152,7 @@ void LayerSolutionCache::store(const core::LayerSolveContext& context,
   const LayerSignature signature = layer_signature(context);
   CachedSolution value = encode(context, outcome);
   Shard& shard = shard_for(signature.hash);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   if (shard.index.count(std::string_view{signature.text}) > 0) {
     return;  // first writer wins; identical by construction
   }
@@ -169,7 +169,7 @@ void LayerSolutionCache::store(const core::LayerSolveContext& context,
 CacheStats LayerSolutionCache::stats() const {
   CacheStats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.stores += shard.stores;
@@ -181,7 +181,7 @@ CacheStats LayerSolutionCache::stats() const {
 std::size_t LayerSolutionCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     total += shard.lru.size();
   }
   return total;

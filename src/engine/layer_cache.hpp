@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -21,6 +20,8 @@
 
 #include "core/solve_hooks.hpp"
 #include "engine/layer_signature.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cohls::engine {
 
@@ -93,13 +94,17 @@ class LayerSolutionCache final : public core::LayerSolveCache {
     CachedSolution value;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
-    std::int64_t hits = 0;
-    std::int64_t misses = 0;
-    std::int64_t stores = 0;
-    std::int64_t evictions = 0;
+    mutable util::Mutex mutex;
+    /// front = most recently used. The index is lookup-only (find/erase/
+    /// emplace) — it is never iterated, so its unordered order can't leak
+    /// into any output (cohls_check S101 guards the invariant).
+    std::list<Entry> lru COHLS_GUARDED_BY(mutex);
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index
+        COHLS_GUARDED_BY(mutex);
+    std::int64_t hits COHLS_GUARDED_BY(mutex) = 0;
+    std::int64_t misses COHLS_GUARDED_BY(mutex) = 0;
+    std::int64_t stores COHLS_GUARDED_BY(mutex) = 0;
+    std::int64_t evictions COHLS_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t hash) {

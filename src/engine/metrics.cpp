@@ -65,7 +65,7 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) {
     slot = std::make_unique<Counter>();
@@ -74,7 +74,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) {
     slot = std::make_unique<Histogram>();
@@ -83,7 +83,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 std::string MetricsRegistry::text_report() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream out;
   out << "metrics:\n";
   std::size_t width = 0;
@@ -107,7 +107,7 @@ std::string MetricsRegistry::text_report() const {
 }
 
 std::string MetricsRegistry::json() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream out;
   out << "{\"counters\": {";
   bool first = true;

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cohls::engine {
 
@@ -72,9 +74,13 @@ class MetricsRegistry {
   [[nodiscard]] std::string json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  /// std::map so reports iterate in key order — byte-stable output across
+  /// runs and thread schedules (cohls_check S101 forbids unordered
+  /// iteration on emission paths).
+  std::map<std::string, std::unique_ptr<Counter>> counters_ COHLS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      COHLS_GUARDED_BY(mutex_);
 };
 
 }  // namespace cohls::engine

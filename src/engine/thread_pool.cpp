@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutdown_ = true;
   }
   wake_.notify_all();
@@ -33,7 +33,7 @@ std::future<void> ThreadPool::submit(std::function<void(const CancellationToken&
       [job = std::move(job), token = std::move(token)] { job(token); });
   std::future<void> future = task.get_future();
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (shutdown_ || discard_queued_) {
       // Late submission: fail the future instead of silently dropping it.
       try {
@@ -55,7 +55,7 @@ std::future<void> ThreadPool::submit(std::function<void(const CancellationToken&
 void ThreadPool::stop() {
   std::deque<Job> abandoned;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     discard_queued_ = true;
     abandoned.swap(queue_);
     in_flight_ -= static_cast<int>(abandoned.size());
@@ -70,7 +70,7 @@ void ThreadPool::stop() {
 }
 
 int ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return in_flight_;
 }
 
@@ -78,8 +78,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!work_available()) {
+        wake_.wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // shutdown with a drained queue
       }
@@ -88,7 +90,7 @@ void ThreadPool::worker_loop() {
     }
     job.task();  // packaged_task captures exceptions into the future
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       --in_flight_;
     }
   }

@@ -7,15 +7,15 @@
 // started.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/cancellation.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cohls::engine {
 
@@ -52,14 +52,18 @@ class ThreadPool {
   };
 
   void worker_loop();
+  /// Worker wake condition; the wait loop re-tests it after every wakeup.
+  [[nodiscard]] bool work_available() const COHLS_REQUIRES(mutex_) {
+    return shutdown_ || !queue_.empty();
+  }
 
   CancellationSource stop_source_;
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<Job> queue_;
-  int in_flight_ = 0;  // queued + running
-  bool shutdown_ = false;
-  bool discard_queued_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar wake_;
+  std::deque<Job> queue_ COHLS_GUARDED_BY(mutex_);
+  int in_flight_ COHLS_GUARDED_BY(mutex_) = 0;  // queued + running
+  bool shutdown_ COHLS_GUARDED_BY(mutex_) = false;
+  bool discard_queued_ COHLS_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,5 +1,8 @@
 #include "milp/branch_and_bound.hpp"
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -8,7 +11,6 @@
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -113,8 +115,8 @@ struct WorkerReport {
 /// closest to the root — the largest subtrees, amortizing the thief's
 /// refactorization over the most work.
 struct WorkerDeque {
-  std::mutex mutex;
-  std::deque<Node> nodes;
+  util::Mutex mutex;
+  std::deque<Node> nodes COHLS_GUARDED_BY(mutex);
 };
 
 /// State shared by the worker team: the deques, the incumbent, the global
@@ -138,9 +140,10 @@ struct SharedSearch {
   /// vector itself (and the authoritative value) live under the mutex.
   std::atomic<bool> has_incumbent{false};
   std::atomic<double> best_value{std::numeric_limits<double>::infinity()};
-  std::mutex incumbent_mutex;
-  std::vector<double> incumbent;
-  double incumbent_value = std::numeric_limits<double>::infinity();
+  util::Mutex incumbent_mutex;
+  std::vector<double> incumbent COHLS_GUARDED_BY(incumbent_mutex);
+  double incumbent_value COHLS_GUARDED_BY(incumbent_mutex) =
+      std::numeric_limits<double>::infinity();
 
   /// Root relaxation bound, written once by whichever worker solves the root.
   std::atomic<double> root_bound{-MilpSolution::kBigBound};
@@ -154,8 +157,8 @@ struct SharedSearch {
   std::atomic<bool> dive_found{false};
 
   /// First worker exception, rethrown on the calling thread after the join.
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  util::Mutex error_mutex;
+  std::exception_ptr error COHLS_GUARDED_BY(error_mutex);
 };
 
 class Solver {
@@ -346,12 +349,19 @@ class Solver {
   MilpSolution run_parallel(int threads) {
     SharedSearch shared(threads);
     if (has_incumbent_) {
+      // No worker is running yet; the locks below are uncontended and exist
+      // so the thread-safety analysis sees every guarded access locked.
+      util::MutexLock lock(shared.incumbent_mutex);
       shared.incumbent = incumbent_;
       shared.incumbent_value = incumbent_value_;
       shared.best_value.store(incumbent_value_, std::memory_order_relaxed);
       shared.has_incumbent.store(true, std::memory_order_release);
     }
-    shared.queues[0].nodes.push_back(Node{nullptr, nullptr, -MilpSolution::kBigBound});
+    {
+      util::MutexLock lock(shared.queues[0].mutex);
+      shared.queues[0].nodes.push_back(
+          Node{nullptr, nullptr, -MilpSolution::kBigBound});
+    }
     shared.open_nodes.store(1, std::memory_order_release);
 
     std::vector<WorkerReport> reports(static_cast<std::size_t>(threads));
@@ -366,8 +376,12 @@ class Solver {
     for (std::thread& member : team) {
       member.join();
     }
-    if (shared.error != nullptr) {
-      std::rethrow_exception(shared.error);
+    {
+      // Workers have joined; the lock keeps the analysis exact.
+      util::MutexLock lock(shared.error_mutex);
+      if (shared.error != nullptr) {
+        std::rethrow_exception(shared.error);
+      }
     }
 
     MilpSolution out;
@@ -396,8 +410,11 @@ class Solver {
     }
 
     has_incumbent_ = shared.has_incumbent.load(std::memory_order_acquire);
-    incumbent_ = std::move(shared.incumbent);
-    incumbent_value_ = shared.incumbent_value;
+    {
+      util::MutexLock lock(shared.incumbent_mutex);
+      incumbent_ = std::move(shared.incumbent);
+      incumbent_value_ = shared.incumbent_value;
+    }
     finish(out, shared.exhausted.load(std::memory_order_relaxed),
            shared.root_bound.load(std::memory_order_relaxed),
            shared.root_infeasible.load(std::memory_order_relaxed),
@@ -443,7 +460,7 @@ class Solver {
       report.cold_scratch_solves = ws.cold_scratch_solves;
       report.cold_scratch_pivots = ws.cold_scratch_pivots;
     } catch (...) {
-      std::lock_guard lock(shared.error_mutex);
+      util::MutexLock lock(shared.error_mutex);
       if (shared.error == nullptr) {
         shared.error = std::current_exception();
       }
@@ -475,7 +492,7 @@ class Solver {
   bool pop_or_steal(SharedSearch& shared, int id, Node& out) {
     WorkerDeque& own = shared.queues[static_cast<std::size_t>(id)];
     {
-      std::lock_guard lock(own.mutex);
+      util::MutexLock lock(own.mutex);
       if (!own.nodes.empty()) {
         out = std::move(own.nodes.back());
         own.nodes.pop_back();
@@ -485,7 +502,7 @@ class Solver {
     const int team = static_cast<int>(shared.queues.size());
     for (int k = 1; k < team; ++k) {
       WorkerDeque& victim = shared.queues[static_cast<std::size_t>((id + k) % team)];
-      std::lock_guard lock(victim.mutex);
+      util::MutexLock lock(victim.mutex);
       if (!victim.nodes.empty()) {
         out = std::move(victim.nodes.front());
         victim.nodes.pop_front();
@@ -624,7 +641,7 @@ class Solver {
       // Count the node open *before* it becomes stealable, so open_nodes
       // never under-reports and no worker exits while work remains.
       shared.open_nodes.fetch_add(1, std::memory_order_acq_rel);
-      std::lock_guard lock(own.mutex);
+      util::MutexLock lock(own.mutex);
       own.nodes.push_back(std::move(child));
     };
     if (down_viable && !up_first) {
@@ -660,7 +677,7 @@ class Solver {
     if (!reduced_.is_feasible(snapped, tolerance)) {
       return;
     }
-    std::lock_guard lock(shared.incumbent_mutex);
+    util::MutexLock lock(shared.incumbent_mutex);
     const bool has = shared.has_incumbent.load(std::memory_order_relaxed);
     bool take = !has || value < shared.incumbent_value - kTie;
     if (!take && has && value <= shared.incumbent_value + kTie) {

@@ -1,7 +1,6 @@
 #include "model/components.hpp"
 
 #include <bit>
-#include <mutex>
 #include <sstream>
 
 namespace cohls::model {
@@ -42,13 +41,13 @@ AccessoryRegistry::AccessoryRegistry() {
 }
 
 AccessoryRegistry::AccessoryRegistry(const AccessoryRegistry& other) {
-  std::shared_lock lock(other.mutex_);
+  util::ReaderLock lock(other.mutex_);
   names_ = other.names_;
   costs_ = other.costs_;
 }
 
 AccessoryRegistry::AccessoryRegistry(AccessoryRegistry&& other) noexcept {
-  std::unique_lock lock(other.mutex_);
+  util::WriterLock lock(other.mutex_);
   names_ = std::move(other.names_);
   costs_ = std::move(other.costs_);
 }
@@ -60,30 +59,41 @@ AccessoryRegistry& AccessoryRegistry::operator=(const AccessoryRegistry& other) 
   std::vector<std::string> names;
   std::vector<double> costs;
   {
-    std::shared_lock lock(other.mutex_);
+    util::ReaderLock lock(other.mutex_);
     names = other.names_;
     costs = other.costs_;
   }
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   names_ = std::move(names);
   costs_ = std::move(costs);
   return *this;
 }
 
-AccessoryRegistry& AccessoryRegistry::operator=(AccessoryRegistry&& other) noexcept {
+// Thread-safety analysis is off here: the analysis cannot model
+// address-ordered acquisition of two dynamically chosen instances of the
+// same capability. Sound because the order is total (by address), so two
+// concurrent cross-assignments cannot deadlock, and both mutexes are held
+// for every member access below.
+AccessoryRegistry& AccessoryRegistry::operator=(AccessoryRegistry&& other) noexcept
+    COHLS_NO_THREAD_SAFETY_ANALYSIS {
   if (this == &other) {
     return *this;
   }
-  std::scoped_lock lock(mutex_, other.mutex_);
+  util::SharedMutex& first = this < &other ? mutex_ : other.mutex_;
+  util::SharedMutex& second = this < &other ? other.mutex_ : mutex_;
+  first.lock();
+  second.lock();
   names_ = std::move(other.names_);
   costs_ = std::move(other.costs_);
+  second.unlock();
+  first.unlock();
   return *this;
 }
 
 AccessoryId AccessoryRegistry::register_accessory(std::string name, double processing_cost) {
   COHLS_EXPECT(!name.empty(), "accessory name must be non-empty");
   COHLS_EXPECT(processing_cost >= 0.0, "processing cost must be non-negative");
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   for (const std::string& existing : names_) {
     COHLS_EXPECT(existing != name, "accessory name already registered");
   }
@@ -95,24 +105,24 @@ AccessoryId AccessoryRegistry::register_accessory(std::string name, double proce
 }
 
 int AccessoryRegistry::count() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return static_cast<int>(names_.size());
 }
 
 std::string AccessoryRegistry::name(AccessoryId id) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   COHLS_EXPECT(id >= 0 && id < static_cast<int>(names_.size()), "unknown accessory id");
   return names_[static_cast<std::size_t>(id)];
 }
 
 double AccessoryRegistry::processing_cost(AccessoryId id) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   COHLS_EXPECT(id >= 0 && id < static_cast<int>(costs_.size()), "unknown accessory id");
   return costs_[static_cast<std::size_t>(id)];
 }
 
 AccessoryId AccessoryRegistry::find(std::string_view name) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) {
       return static_cast<AccessoryId>(i);

@@ -8,12 +8,13 @@
 
 #include <array>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cohls::model {
 
@@ -93,9 +94,9 @@ class AccessoryRegistry {
   static constexpr int kMaxAccessories = 32;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::vector<std::string> names_;
-  std::vector<double> costs_;
+  mutable util::SharedMutex mutex_;
+  std::vector<std::string> names_ COHLS_GUARDED_BY(mutex_);
+  std::vector<double> costs_ COHLS_GUARDED_BY(mutex_);
 };
 
 /// A set of accessory kinds, by id. Small and value-semantic; supports the

@@ -1,0 +1,80 @@
+// Portable Clang Thread Safety Analysis macros. Under clang the COHLS_*
+// macros expand to the capability attributes that let
+// `-Werror=thread-safety` prove, at compile time, that every access to a
+// GUARDED_BY member happens with its mutex held; under any other compiler
+// they expand to nothing. The annotated primitives that carry these
+// attributes live in util/sync.hpp — std::mutex and std::lock_guard are NOT
+// annotated by libstdc++, so locking through them is invisible to the
+// analysis and cohls code locks through util::Mutex instead (enforced by
+// cohls_check COHLS-S104).
+//
+// Escape hatch: COHLS_NO_THREAD_SAFETY_ANALYSIS is the committed allowlist
+// for patterns the analysis cannot model (e.g. address-ordered dual-mutex
+// acquisition). Every use must carry an inline comment explaining why the
+// suppression is sound.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define COHLS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define COHLS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define COHLS_CAPABILITY(x) COHLS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability.
+#define COHLS_SCOPED_CAPABILITY COHLS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define COHLS_GUARDED_BY(x) COHLS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected by the
+/// given capability.
+#define COHLS_PT_GUARDED_BY(x) COHLS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that a function acquires a capability (exclusively / shared).
+#define COHLS_ACQUIRE(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define COHLS_ACQUIRE_SHARED(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that a function releases a capability. The GENERIC form releases
+/// a capability regardless of whether it was acquired exclusively or shared
+/// (the right annotation for a scoped lock's destructor).
+#define COHLS_RELEASE(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define COHLS_RELEASE_SHARED(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define COHLS_RELEASE_GENERIC(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Declares that a function returns `success` when the capability was
+/// acquired.
+#define COHLS_TRY_ACQUIRE(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define COHLS_TRY_ACQUIRE_SHARED(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that callers must hold the capability (exclusively / shared)
+/// before calling.
+#define COHLS_REQUIRES(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define COHLS_REQUIRES_SHARED(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the capability (deadlock guard for
+/// functions that acquire it themselves).
+#define COHLS_EXCLUDES(...) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define COHLS_RETURN_CAPABILITY(x) \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Turns the analysis off for one function. Allowlist-only: every use needs
+/// an inline reason comment (see header comment).
+#define COHLS_NO_THREAD_SAFETY_ANALYSIS \
+  COHLS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,0 +1,30 @@
+// Golden corpus: iterating an ordered projection of an unordered container
+// is clean — the range expression ends in a call, the documented S101
+// escape (the call is expected to return an ordered view).
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> sorted_keys(
+    const std::unordered_map<std::string, int>& table) {
+  std::vector<std::string> keys;
+  keys.reserve(table.size());
+  // Collecting keys is fine; it is the *iteration for output* that must be
+  // ordered, and this helper's caller sorts below.
+  // cohls-check: allow(S101): key collection feeding an immediate sort
+  for (const auto& [key, value] : table) {
+    (void)value;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+int emit(const std::unordered_map<std::string, int>& table) {
+  int order_sensitive = 0;
+  for (const std::string& key : sorted_keys(table)) {
+    order_sensitive = order_sensitive * 31 + static_cast<int>(key.size());
+  }
+  return order_sensitive;
+}

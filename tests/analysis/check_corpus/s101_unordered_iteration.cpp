@@ -1,0 +1,13 @@
+// Golden corpus: range-for over an unordered container must fire exactly
+// COHLS-S101 (iteration order is not deterministic).
+#include <string>
+#include <unordered_map>
+
+int serialize_all(const std::unordered_map<std::string, int>& unused) {
+  std::unordered_map<std::string, int> table;
+  int sum = 0;
+  for (const auto& [key, value] : table) {
+    sum += value + static_cast<int>(key.size());
+  }
+  return sum;
+}

@@ -1,0 +1,5 @@
+// Golden corpus: a direct random source outside util/rng must fire exactly
+// COHLS-S102 (runs would not replay).
+#include <cstdlib>
+
+int jitter() { return std::rand() % 7; }

@@ -1,0 +1,8 @@
+// Golden corpus: a wall-clock read outside the timing allowlist must fire
+// exactly COHLS-S103 (calendar time makes runs unreproducible).
+#include <chrono>
+
+long long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,26 @@
+// Golden corpus: the fixed version of s104_unguarded_mutex — the mutex has
+// a COHLS_GUARDED_BY-annotated sibling, so the file is clean. (The macro
+// expands to nothing off clang; the checker matches the token.)
+#include <mutex>
+
+#ifndef COHLS_GUARDED_BY
+#define COHLS_GUARDED_BY(x)
+#endif
+
+class SharedCounter {
+ public:
+  void increment() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ COHLS_GUARDED_BY(mutex_) = 0;
+};
+
+int keep_linker_quiet() {
+  SharedCounter counter;
+  counter.increment();
+  return 0;
+}

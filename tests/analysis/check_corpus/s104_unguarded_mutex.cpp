@@ -1,0 +1,22 @@
+// Golden corpus: a class owning a mutex by value with no GUARDED_BY
+// annotation anywhere in its body must fire exactly COHLS-S104 — clang's
+// thread-safety analysis cannot see what the mutex protects.
+#include <mutex>
+
+class SharedCounter {
+ public:
+  void increment() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+int keep_linker_quiet() {
+  SharedCounter counter;
+  counter.increment();
+  return 0;
+}

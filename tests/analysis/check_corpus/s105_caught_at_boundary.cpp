@@ -1,0 +1,21 @@
+// Golden corpus: the fixed version of s105_throw_in_worker — the throw is
+// wrapped in a try block inside the lambda itself, so the exception never
+// crosses the worker boundary. Clean.
+#include <functional>
+#include <stdexcept>
+
+struct FakePool {
+  void submit(std::function<void()> task) { task(); }
+};
+
+void schedule(FakePool& pool, int value, bool& failed) {
+  pool.submit([value, &failed] {
+    try {
+      if (value < 0) {
+        throw std::runtime_error("negative value reached a worker");
+      }
+    } catch (const std::exception&) {
+      failed = true;
+    }
+  });
+}

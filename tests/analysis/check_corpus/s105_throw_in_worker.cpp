@@ -1,0 +1,17 @@
+// Golden corpus: a bare `throw` inside a worker lambda handed to
+// ThreadPool::submit must fire exactly COHLS-S105 — an escaping exception
+// tears down the worker thread.
+#include <functional>
+#include <stdexcept>
+
+struct FakePool {
+  void submit(std::function<void()> task) { task(); }
+};
+
+void schedule(FakePool& pool, int value) {
+  pool.submit([value] {
+    if (value < 0) {
+      throw std::runtime_error("negative value reached a worker");
+    }
+  });
+}

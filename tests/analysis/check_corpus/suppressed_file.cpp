@@ -1,0 +1,12 @@
+// Golden corpus: a file-level directive suppresses a code everywhere in the
+// file. Both wall-clock reads below stay silent.
+// cohls-check: allow-file(S103): corpus exercise of file-wide suppression
+#include <chrono>
+
+long long start_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long long end_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+// Golden corpus: a line-level `cohls-check: allow(...)` directive covers
+// the next code line, so the rand() below reports nothing — but only that
+// one; the second call still fires COHLS-S102.
+#include <cstdlib>
+
+int seeded_jitter() {
+  // cohls-check: allow(S102): demo of the suppression syntax
+  const int allowed = std::rand();
+  const int flagged = std::rand();
+  return allowed + flagged;
+}

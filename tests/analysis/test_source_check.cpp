@@ -1,0 +1,198 @@
+// The cohls_check source checker: a golden corpus (one snippet per
+// COHLS-S1xx code, plus the suppression syntax and the documented escapes)
+// and the self-hosting gate — the checker runs over this repository's own
+// src/ tree and must report nothing.
+#include "analysis/source_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cohls::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::vector<std::string> codes_of(const std::vector<diag::Diagnostic>& found) {
+  std::vector<std::string> codes;
+  codes.reserve(found.size());
+  for (const diag::Diagnostic& d : found) {
+    codes.push_back(d.code);
+  }
+  std::sort(codes.begin(), codes.end());
+  return codes;
+}
+
+std::vector<diag::Diagnostic> check_corpus_file(const std::string& name) {
+  const fs::path path = fs::path(COHLS_CHECK_CORPUS_DIR) / name;
+  return check_source(name, read_file(path));
+}
+
+// --- golden corpus: each snippet fires exactly its code ---------------------
+
+TEST(SourceCheckCorpus, UnorderedIterationFiresS101) {
+  const auto found = check_corpus_file("s101_unordered_iteration.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{"COHLS-S101"});
+}
+
+TEST(SourceCheckCorpus, OrderedProjectionIsClean) {
+  const auto found = check_corpus_file("s101_ordered_projection.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{}) << "first: "
+      << (found.empty() ? "" : diag::summary_line(found.front()));
+}
+
+TEST(SourceCheckCorpus, RandomSourceFiresS102) {
+  const auto found = check_corpus_file("s102_random_source.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{"COHLS-S102"});
+}
+
+TEST(SourceCheckCorpus, WallClockFiresS103) {
+  const auto found = check_corpus_file("s103_wall_clock.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{"COHLS-S103"});
+}
+
+TEST(SourceCheckCorpus, UnguardedMutexFiresS104) {
+  const auto found = check_corpus_file("s104_unguarded_mutex.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{"COHLS-S104"});
+}
+
+TEST(SourceCheckCorpus, GuardedMutexIsClean) {
+  const auto found = check_corpus_file("s104_guarded_mutex.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{});
+}
+
+TEST(SourceCheckCorpus, ThrowInWorkerFiresS105) {
+  const auto found = check_corpus_file("s105_throw_in_worker.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{"COHLS-S105"});
+}
+
+TEST(SourceCheckCorpus, CaughtAtBoundaryIsClean) {
+  const auto found = check_corpus_file("s105_caught_at_boundary.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{});
+}
+
+TEST(SourceCheckCorpus, LineSuppressionCoversExactlyOneCall) {
+  const auto found = check_corpus_file("suppressed_line.cpp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].code, "COHLS-S102");
+}
+
+TEST(SourceCheckCorpus, FileSuppressionCoversTheWholeFile) {
+  const auto found = check_corpus_file("suppressed_file.cpp");
+  EXPECT_EQ(codes_of(found), std::vector<std::string>{});
+}
+
+// --- checker behaviors beyond the corpus ------------------------------------
+
+TEST(SourceCheck, AllowlistExemptsRngImplementation) {
+  const std::string text = "int draw() { return rand(); }\n";
+  EXPECT_TRUE(check_source("src/util/rng.cpp", text).empty());
+  EXPECT_EQ(check_source("src/core/other.cpp", text).size(), 1u);
+}
+
+TEST(SourceCheck, WallClockAllowlistIsAnOption) {
+  SourceCheckOptions options;
+  options.wall_clock_allowlist.push_back("util/stopwatch.");
+  const std::string text =
+      "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(check_source("src/util/stopwatch.cpp", text, options).empty());
+  EXPECT_EQ(check_source("src/core/other.cpp", text, options).size(), 1u);
+}
+
+TEST(SourceCheck, WerrorPromotesSeverity) {
+  SourceCheckOptions options;
+  options.warnings_as_errors = true;
+  const auto found =
+      check_source("x.cpp", "int j() { return rand(); }\n", options);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, diag::Severity::Error);
+}
+
+TEST(SourceCheck, CommentsAndStringsAreInvisible) {
+  const std::string text =
+      "// rand() and system_clock in a comment\n"
+      "const char* s = \"rand() system_clock random_device\";\n"
+      "/* throw inside pool.submit([]{}) */\n";
+  EXPECT_TRUE(check_source("x.cpp", text).empty());
+}
+
+TEST(SourceCheck, MemberNamedRandIsNotTheLibcFunction) {
+  EXPECT_TRUE(check_source("x.cpp", "int v = gen.rand();\n").empty());
+  EXPECT_TRUE(check_source("x.cpp", "int v = gen->rand();\n").empty());
+}
+
+TEST(SourceCheck, ClassicForOverUnorderedIsNotFlagged) {
+  const std::string text =
+      "#include <unordered_set>\n"
+      "int f() {\n"
+      "  std::unordered_set<int> seen;\n"
+      "  int n = 0;\n"
+      "  for (int i = 0; i < 3; ++i) { n += static_cast<int>(seen.count(i)); }\n"
+      "  return n;\n"
+      "}\n";
+  EXPECT_TRUE(check_source("x.cpp", text).empty());
+}
+
+TEST(SourceCheck, ReferenceMutexMembersAreExempt) {
+  // Scoped locks borrow a capability owned elsewhere.
+  const std::string text =
+      "class Lock {\n"
+      " public:\n"
+      "  explicit Lock(Mutex& m) : mutex_(m) {}\n"
+      " private:\n"
+      "  Mutex& mutex_;\n"
+      "};\n";
+  EXPECT_TRUE(check_source("x.cpp", text).empty());
+}
+
+TEST(SourceCheck, CodesAreStableAndSorted) {
+  const std::vector<std::string>& codes = source_check_codes();
+  EXPECT_EQ(codes.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));
+  EXPECT_EQ(codes.front(), "COHLS-S101");
+  EXPECT_EQ(codes.back(), "COHLS-S105");
+}
+
+// --- self-hosting gate: this repository's src/ tree is clean ----------------
+
+TEST(SourceCheckSelfHost, SrcTreeHasNoFindings) {
+  const fs::path root(COHLS_SOURCE_DIR);
+  ASSERT_TRUE(fs::is_directory(root / "src"));
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    const std::string ext = entry.path().extension().string();
+    if (entry.is_regular_file() && (ext == ".hpp" || ext == ".cpp")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 50u) << "src/ walk found suspiciously few files";
+  int findings = 0;
+  for (const std::string& file : files) {
+    const std::string relative = fs::relative(file, root).generic_string();
+    for (const diag::Diagnostic& d :
+         check_source(relative, read_file(file))) {
+      ++findings;
+      ADD_FAILURE() << relative << ":" << d.span.line << ": "
+                    << diag::summary_line(d);
+    }
+  }
+  EXPECT_EQ(findings, 0);
+}
+
+}  // namespace
+}  // namespace cohls::analysis

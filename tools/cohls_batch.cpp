@@ -13,7 +13,14 @@
 //   --conventional         use the modified conventional baseline
 //   --deadline S           per-job wall-clock budget in seconds (default none)
 //   --cache-capacity N     layer-solution cache entries (default 4096; 0 off)
+//   --cache-shards N       lock shards inside the layer cache (default 16;
+//                          contention knob only — results and stats are
+//                          identical for any value)
 //   --no-cache             disable the layer-solution cache
+//   --stable-json          zero the wall_seconds timing fields in JSON
+//                          output (--results-json and --diag-format=json),
+//                          making the documents byte-identical across
+//                          repeat runs, shard layouts and --jobs values
 //   --verify-cache         check every cache hit against a fresh solve
 //   --repeat N             run the whole manifest N times (cache warm-up demo)
 //   --retries N            transient-failure re-runs per job (default 1)
@@ -107,6 +114,7 @@ struct CliOptions {
   std::uint64_t fleet_seed = 1;
   bool fleet_recover = false;
   diag::Format diag_format = diag::Format::Text;
+  bool stable_json = false;
 };
 
 /// Set by the SIGINT handler; everything non-signal-safe (engine.stop(),
@@ -120,7 +128,8 @@ void handle_sigint(int) { g_interrupted = 1; }
             << " <manifest> [--jobs N] [--milp-threads N] [--max-devices N]"
                " [--threshold N]"
                " [--transport N] [--conventional] [--deadline S]"
-               " [--cache-capacity N] [--no-cache] [--verify-cache]"
+               " [--cache-capacity N] [--cache-shards N] [--no-cache]"
+               " [--verify-cache] [--stable-json]"
                " [--repeat N] [--retries N] [--stall S] [--inject-faults FILE]"
                " [--simulate-seed N] [--fleet N] [--hazard SPEC]"
                " [--fleet-seed N] [--fleet-recover]"
@@ -166,6 +175,10 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--cache-capacity") {
       cli.batch.cache_capacity =
           static_cast<std::size_t>(numeric_arg(argc, argv, i));
+    } else if (arg == "--cache-shards") {
+      cli.batch.cache_shards = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--stable-json") {
+      cli.stable_json = true;
     } else if (arg == "--no-cache") {
       cli.batch.cache_capacity = 0;
     } else if (arg == "--verify-cache") {
@@ -340,7 +353,7 @@ int main(int argc, char** argv) {
       std::cout << "round " << round + 1 << " of " << cli.repeat << "\n";
     }
     if (cli.diag_format == diag::Format::Json) {
-      std::cout << engine::results_json(rows) << "\n";
+      std::cout << engine::results_json(rows, cli.stable_json) << "\n";
     } else {
       TextTable table({"assay", "status", "time", "devices", "paths", "layers",
                        "iters", "objective", "wall s"});
@@ -403,7 +416,8 @@ int main(int argc, char** argv) {
       // Rewritten every round (and after an interrupt): always a complete,
       // parsable document — interrupted jobs appear as "cancelled".
       if (!write_file_atomic(cli.results_json_path,
-                             engine::results_json(rows) + "\n")) {
+                             engine::results_json(rows, cli.stable_json) +
+                                 "\n")) {
         std::cerr << "cannot write " << cli.results_json_path << "\n";
         stop_watcher();
         return 1;

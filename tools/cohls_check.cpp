@@ -1,0 +1,168 @@
+// cohls_check — the repository's own source checker. Runs the COHLS-S1xx
+// concurrency/determinism rules (analysis::check_source) over C++ sources
+// and reports through the shared diag emitters.
+//
+//   cohls_check [options] [paths...]
+//
+//   paths                  files or directories to check, relative to --root
+//                          (default: src)
+//   --root DIR             repository root the paths resolve against
+//                          (default: current directory)
+//   --diag-format=FMT      "text" (default, clang-style) or "json" (one
+//                          document, findings grouped per file)
+//   --Werror               findings are errors (exit 1 even for warnings)
+//   --allow-wall-clock F   add a path fragment to the S103 timing allowlist
+//                          (repeatable)
+//   --list-rules           print the rule codes and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO errors.
+//
+// The rule catalog, the suppression syntax (`// cohls-check: allow(S104):
+// reason`), and the rationale for each rule live in the README and in
+// src/analysis/source_check.hpp.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/source_check.hpp"
+#include "diag/diagnostic.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(std::ostream& out, int status) {
+  out << "usage: cohls_check [--root DIR] [--diag-format=text|json] [--Werror]\n"
+         "                   [--allow-wall-clock FRAGMENT]... [--list-rules]\n"
+         "                   [paths...]   (default path: src)\n";
+  return status;
+}
+
+bool checkable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  cohls::analysis::SourceCheckOptions options;
+  cohls::diag::Format format = cohls::diag::Format::Text;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    }
+    if (arg == "--list-rules") {
+      for (const std::string& code : cohls::analysis::source_check_codes()) {
+        std::cout << code << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--Werror") {
+      options.warnings_as_errors = true;
+      continue;
+    }
+    if (arg == "--root") {
+      if (++i >= argc) {
+        return usage(std::cerr, 2);
+      }
+      root = argv[i];
+      continue;
+    }
+    if (arg == "--allow-wall-clock") {
+      if (++i >= argc) {
+        return usage(std::cerr, 2);
+      }
+      options.wall_clock_allowlist.emplace_back(argv[i]);
+      continue;
+    }
+    if (arg.rfind("--diag-format=", 0) == 0) {
+      const auto parsed = cohls::diag::parse_format(arg.substr(14));
+      if (!parsed) {
+        std::cerr << "cohls_check: unknown format '" << arg.substr(14) << "'\n";
+        return 2;
+      }
+      format = *parsed;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cohls_check: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    paths.emplace_back("src");
+  }
+
+  // Collect every checkable file under the requested paths, sorted so the
+  // report (and the JSON document) is byte-stable across filesystems.
+  std::vector<std::string> files;
+  for (const std::string& requested : paths) {
+    const fs::path resolved = root / requested;
+    std::error_code ec;
+    if (fs::is_directory(resolved, ec)) {
+      for (fs::recursive_directory_iterator it(resolved, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && checkable(it->path())) {
+          files.push_back(fs::relative(it->path(), root).generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(resolved, ec) && checkable(resolved)) {
+      files.push_back(fs::path(requested).generic_string());
+    } else {
+      std::cerr << "cohls_check: no such file or directory: "
+                << resolved.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  int total_findings = 0;
+  int files_with_findings = 0;
+  std::string json_files;
+  for (const std::string& relative : files) {
+    std::ifstream in(root / relative, std::ios::binary);
+    if (!in) {
+      std::cerr << "cohls_check: cannot read " << relative << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::vector<cohls::diag::Diagnostic> findings =
+        cohls::analysis::check_source(relative, text.str(), options);
+    if (findings.empty()) {
+      continue;
+    }
+    total_findings += static_cast<int>(findings.size());
+    ++files_with_findings;
+    if (format == cohls::diag::Format::Text) {
+      std::cout << cohls::diag::render_text(findings, relative);
+    } else {
+      if (!json_files.empty()) {
+        json_files += ",";
+      }
+      json_files += cohls::diag::render_json(findings, relative);
+    }
+  }
+
+  if (format == cohls::diag::Format::Json) {
+    std::cout << "{\"tool\": \"cohls_check\", \"checked\": " << files.size()
+              << ", \"findings\": " << total_findings << ", \"files\": ["
+              << json_files << "]}\n";
+  } else if (total_findings > 0) {
+    std::cout << "cohls_check: " << total_findings << " finding"
+              << (total_findings == 1 ? "" : "s") << " in "
+              << files_with_findings << " of " << files.size() << " files\n";
+  }
+  return total_findings > 0 ? 1 : 0;
+}
