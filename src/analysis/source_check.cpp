@@ -405,6 +405,30 @@ class Checker {
     }
   }
 
+  // --- S106: any clock read inside recovery-path files ----------------------
+
+  void check_recovery_clock(std::size_t i) {
+    if (!path_in(path_, options_.recovery_paths)) {
+      return;
+    }
+    const std::string& name = tok(i).text;
+    if (i > 0 && (is(i - 1, ".") || is(i - 1, "->"))) {
+      return;  // member named like a clock function, not the clock itself
+    }
+    const bool call_only = name == "gettimeofday" || name == "clock_gettime" ||
+                           name == "timespec_get" || name == "sleep_for" ||
+                           name == "sleep_until";
+    if (name == "steady_clock" || name == "system_clock" ||
+        name == "high_resolution_clock" || (call_only && is(i + 1, "("))) {
+      emit(diag::codes::kClockInRecoveryPath, tok(i),
+           "clock read '" + name +
+               "' in a recovery-path file — the mission loop must be a pure "
+               "function of its inputs to keep fleet reductions bit-identical",
+           "thread timing through CancellationToken deadlines and the carried "
+           "elapsed-time credit instead of reading a clock");
+    }
+  }
+
   // --- S104: mutex members without GUARDED_BY in the class ------------------
 
   struct ClassScope {
@@ -589,6 +613,7 @@ class Checker {
       }
       check_random(i);
       check_wall_clock(i);
+      check_recovery_clock(i);
       if (t.text == "submit" && is(i + 1, "(") && i > 0 &&
           (is(i - 1, ".") || is(i - 1, "->"))) {
         check_worker_group(i + 1);
@@ -648,7 +673,7 @@ const std::vector<std::string>& source_check_codes() {
   static const std::vector<std::string> codes = {
       diag::codes::kUnorderedIteration,  diag::codes::kForbiddenRandomSource,
       diag::codes::kForbiddenWallClock,  diag::codes::kUnguardedMutexMember,
-      diag::codes::kThrowInWorkerBody,
+      diag::codes::kThrowInWorkerBody,   diag::codes::kClockInRecoveryPath,
   };
   return codes;
 }

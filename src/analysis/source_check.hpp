@@ -27,6 +27,14 @@
 //         ThreadPool::submit / std::thread construction) with no enclosing
 //         try block in the lambda itself. Escaping exceptions terminate the
 //         worker (or the process); catch at the lambda boundary.
+//   S106  any clock read or sleep (steady_clock, system_clock,
+//         high_resolution_clock, gettimeofday, clock_gettime, timespec_get,
+//         sleep_for, sleep_until) inside a recovery-path file
+//         (recovery_paths). The re-entrant mission loop must be
+//         deterministic in its inputs — bit-identical across fleet worker
+//         counts — so even steady_clock (fine elsewhere under S103) is
+//         banned here; all timing flows through CancellationToken deadlines
+//         and the carried elapsed-time credit.
 //
 // Suppressions: `// cohls-check: allow(S101)` (comma lists and full
 // "COHLS-S101" spellings accepted, optional `: reason` tail) suppresses the
@@ -55,6 +63,10 @@ struct SourceCheckOptions {
   /// Files allowed to read wall clocks (S103). Empty by default: nothing in
   /// src/ needs calendar time today; additions are a reviewed decision.
   std::vector<std::string> wall_clock_allowlist = {};
+  /// Files holding recovery/mission-loop code, where *every* clock read is
+  /// banned (S106), not just calendar clocks. Fleet determinism depends on
+  /// the mission loop being a pure function of its inputs.
+  std::vector<std::string> recovery_paths = {"core/recovery."};
   /// Report warnings as errors (--Werror).
   bool warnings_as_errors = false;
 };

@@ -106,6 +106,7 @@ inline constexpr const char* kRecoveryUnbindable = "COHLS-E301";
 inline constexpr const char* kRecoveryInvalidContinuation = "COHLS-E302";
 inline constexpr const char* kRecoveryPinViolation = "COHLS-E303";
 inline constexpr const char* kRecoveryNoFailure = "COHLS-E304";
+inline constexpr const char* kRecoveryBudgetExhausted = "COHLS-E305";
 
 // -- source checker (S1xx) ---------------------------------------------------
 // Emitted by analysis::check_source (the cohls_check repo linter) over this
@@ -116,6 +117,7 @@ inline constexpr const char* kForbiddenRandomSource = "COHLS-S102";
 inline constexpr const char* kForbiddenWallClock = "COHLS-S103";
 inline constexpr const char* kUnguardedMutexMember = "COHLS-S104";
 inline constexpr const char* kThrowInWorkerBody = "COHLS-S105";
+inline constexpr const char* kClockInRecoveryPath = "COHLS-S106";
 
 }  // namespace codes
 

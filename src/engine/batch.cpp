@@ -297,39 +297,63 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
             .weighted_total;
     row.result_text = io::to_text(report.result, assay);
 
-    // Fault injection: replay the certified schedule against the job's
-    // fault plan; on a broken run, attempt degraded-mode recovery. A
-    // recovered fault keeps the job Ok (the continuation is certified); an
-    // unrecoverable one reports RunFailed with the E3xx evidence — never a
-    // fabricated success.
+    // Fault injection: drive the certified schedule through the re-entrant
+    // recovery mission — iterated replay → recover → re-certify, surviving
+    // up to job.recover_rounds faults with elapsed-time credit threaded
+    // across rounds. A recovered mission keeps the job Ok (every
+    // continuation is certified); an unrecoverable one reports RunFailed
+    // with the E3xx evidence and the fault chain — never a fabricated
+    // success. Deadline pressure degrades a round to the heuristic-only
+    // ladder (row.degraded) instead of cancelling the job.
     if (row.status == JobStatus::Ok && job.fault_plan.has_value()) {
       sim::RuntimeOptions runtime;
       runtime.seed = job.simulate_seed;
       runtime.faults = sim::parse_fault_plan(*job.fault_plan);
-      const sim::RunTrace trace = sim::simulate_run(report.result, assay, runtime);
-      row.run_outcome = std::string(sim::to_string(trace.outcome));
-      if (!trace.ok()) {
+      core::MissionOptions mission;
+      mission.synthesis = options;
+      mission.max_rounds = std::max(1, job.recover_rounds);
+      mission.round_budget_seconds = job.recover_budget_seconds;
+      const Clock::time_point recovery_begin = Clock::now();
+      const core::MissionOutcome outcome =
+          core::run_mission(assay, report.result, runtime, mission);
+      // run_outcome keeps its original contract: the outcome of the replay
+      // (= the first break when the plan bites; the mission's end-to-end
+      // verdict is `recovered`).
+      row.run_outcome = std::string(
+          sim::to_string(outcome.round_log.empty() ? outcome.final_trace.outcome
+                                                   : outcome.round_log.front().outcome));
+      if (!outcome.round_log.empty() || !outcome.recovered) {
         row.recovery_attempted = true;
         metrics_.counter("recoveries_attempted").increment();
-        const Clock::time_point recovery_begin = Clock::now();
-        const core::RecoveryOutcome recovery =
-            core::recover(assay, report.result, trace, options);
         metrics_.histogram("recovery_seconds")
             .observe(std::chrono::duration<double>(Clock::now() - recovery_begin)
                          .count());
-        row.recovered = recovery.recovered;
-        if (recovery.recovered) {
+        row.recovered = outcome.recovered;
+        row.recovery_rounds = outcome.rounds;
+        row.recovery_degraded = outcome.degraded;
+        row.recovery_credit = outcome.credit_carried;
+        row.degraded = row.degraded || outcome.degraded;
+        metrics_.counter("recovery_rounds").add(outcome.rounds);
+        metrics_.histogram("recovery_rounds_per_mission")
+            .observe(static_cast<double>(outcome.rounds));
+        if (outcome.degraded) {
+          metrics_.counter("recoveries_degraded").increment();
+        }
+        metrics_.counter("recovery_credit_minutes")
+            .add(outcome.credit_carried.count());
+        if (outcome.recovered) {
           metrics_.counter("recoveries_succeeded").increment();
         } else {
           row.status = JobStatus::RunFailed;
-          row.detail = !recovery.diagnostics.empty()
-                           ? diag::summary_line(recovery.diagnostics.front())
-                           : (trace.failure.has_value()
-                                  ? trace.failure->detail
-                                  : "fault replay broke the run");
+          row.detail =
+              !outcome.diagnostics.empty()
+                  ? diag::summary_line(outcome.diagnostics.front())
+                  : (outcome.final_trace.failure.has_value()
+                         ? outcome.final_trace.failure->detail
+                         : "fault replay broke the run");
           row.diagnostics.insert(row.diagnostics.end(),
-                                 recovery.diagnostics.begin(),
-                                 recovery.diagnostics.end());
+                                 outcome.diagnostics.begin(),
+                                 outcome.diagnostics.end());
         }
       }
     }
@@ -352,9 +376,37 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
         fleet.hazard = sim::parse_hazard_spec(job.hazard_spec, assay.registry());
       }
       if (job.fleet_recover) {
+        // Broken fleet runs replay through the multi-fault mission loop:
+        // the probe re-samples the job's hazard model with the run's own
+        // (seed, run) streams, so continuation rounds admit exactly the
+        // failures the root sampling clipped — and the reduction stays
+        // bit-identical across worker counts.
         const schedule::SynthesisResult& result = report.result;
-        fleet.recover = [&assay, &result, &options](const sim::RunTrace& trace) {
-          return core::recover(assay, result, trace, options).recovered;
+        const sim::HazardModel& hazard = fleet.hazard;
+        const int recover_rounds = std::max(1, job.recover_rounds);
+        const double recover_budget = job.recover_budget_seconds;
+        const std::uint64_t fleet_seed = job.fleet_seed;
+        fleet.mission = [&assay, &result, &options, &hazard, recover_rounds,
+                         recover_budget, fleet_seed](
+                            const sim::RunTrace&,
+                            const sim::RuntimeOptions& run_options,
+                            std::uint64_t run) {
+          core::MissionOptions mission;
+          mission.synthesis = options;
+          mission.max_rounds = recover_rounds;
+          mission.round_budget_seconds = recover_budget;
+          mission.hazard = &hazard;
+          mission.hazard_seed = fleet_seed;
+          mission.hazard_run = run;
+          const core::MissionOutcome outcome =
+              core::run_mission(assay, result, run_options, mission);
+          sim::MissionReport digest;
+          digest.recovered = outcome.recovered;
+          digest.rounds = outcome.rounds;
+          digest.degraded = outcome.degraded;
+          digest.credit = outcome.credit_carried;
+          digest.completed_at = outcome.completed_at;
+          return digest;
         };
       }
       const Clock::time_point fleet_begin = Clock::now();
@@ -366,6 +418,15 @@ BatchResult BatchEngine::run_one(const BatchJob& job, const CancellationToken& t
       metrics_.counter("fleet_breaks")
           .add(row.fleet->device_failed + row.fleet->attempts_exhausted);
       metrics_.counter("fleet_recoveries").add(row.fleet->recovered);
+      if (row.fleet->missions > 0) {
+        metrics_.counter("fleet_missions").add(row.fleet->missions);
+        metrics_.counter("fleet_mission_rounds")
+            .add(static_cast<int>(row.fleet->mission_rounds));
+        metrics_.counter("fleet_missions_degraded")
+            .add(row.fleet->missions_degraded);
+        metrics_.counter("fleet_mission_credit_minutes")
+            .add(row.fleet->mission_credit.count());
+      }
     }
   } catch (const io::ParseError& e) {
     row.status = JobStatus::ParseError;
@@ -507,6 +568,9 @@ std::string results_json(const std::vector<BatchResult>& rows, bool stable) {
         << diag::escape_json(row.run_outcome) << "\", \"recovery_attempted\": "
         << (row.recovery_attempted ? "true" : "false")
         << ", \"recovered\": " << (row.recovered ? "true" : "false")
+        << ", \"recovery_rounds\": " << row.recovery_rounds
+        << ", \"recovery_degraded\": " << (row.recovery_degraded ? "true" : "false")
+        << ", \"recovery_credit_minutes\": " << row.recovery_credit.count()
         << ", \"fleet\": ";
     if (row.fleet.has_value()) {
       const sim::FleetSummary& fleet = *row.fleet;
@@ -526,7 +590,21 @@ std::string results_json(const std::vector<BatchResult>& rows, bool stable) {
         out << (first_bucket ? "" : ", ") << count;
         first_bucket = false;
       }
-      out << "], \"events\": " << fleet.events << "}";
+      out << "], \"events\": " << fleet.events
+          << ", \"missions\": " << fleet.missions
+          << ", \"missions_recovered\": " << fleet.missions_recovered
+          << ", \"missions_degraded\": " << fleet.missions_degraded
+          << ", \"mission_rounds\": " << fleet.mission_rounds
+          << ", \"mission_survival_rate\": " << fleet.mission_survival_rate
+          << ", \"mean_mission_rounds\": " << fleet.mean_mission_rounds
+          << ", \"mission_credit_minutes\": " << fleet.mission_credit.count()
+          << ", \"mission_rounds_histogram\": [";
+      bool first_round_bucket = true;
+      for (const int count : fleet.mission_rounds_histogram) {
+        out << (first_round_bucket ? "" : ", ") << count;
+        first_round_bucket = false;
+      }
+      out << "]}";
     } else {
       out << "null";
     }

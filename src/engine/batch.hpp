@@ -56,6 +56,16 @@ struct BatchJob {
   /// Probe degraded-mode recovery (core::recover) on every broken fleet run
   /// so the summary reports a recovery success rate.
   bool fleet_recover = false;
+  /// Recovery rounds per mission (--recover-rounds): the fault-injected
+  /// replay and every broken fleet run are driven through the re-entrant
+  /// mission loop (core::run_mission), surviving up to this many faults
+  /// before freezing with COHLS-E305. 1 reproduces single-fault recovery.
+  int recover_rounds = 1;
+  /// Per-round recovery wall budget in seconds (--recover-budget, 0 = none).
+  /// A round that blows it — or the job deadline — degrades to a
+  /// heuristic-only continuation (BatchResult::degraded) instead of failing
+  /// the job.
+  double recover_budget_seconds = 0.0;
 };
 
 enum class JobStatus {
@@ -102,10 +112,17 @@ struct BatchResult {
   /// Fault-injection replay outcome ("completed" / "attempts-exhausted" /
   /// "device-failed"); empty when the job carried no fault plan.
   std::string run_outcome;
-  /// The replay broke and core::recover ran.
+  /// The replay broke and the recovery mission ran.
   bool recovery_attempted = false;
-  /// Recovery produced a certified continuation schedule.
+  /// The mission produced a certified end-to-end continuation.
   bool recovered = false;
+  /// Recovery rounds the fault-injection mission performed (faults survived).
+  int recovery_rounds = 0;
+  /// A recovery round fell back to the heuristic-only ladder under deadline
+  /// pressure (also sets `degraded`).
+  bool recovery_degraded = false;
+  /// Cumulative elapsed-time credit the mission carried across rounds.
+  Minutes recovery_credit{0};
   /// Fleet-simulation reduction; set iff the job requested fleet_runs > 0
   /// and the schedule certified.
   std::optional<sim::FleetSummary> fleet;

@@ -40,6 +40,8 @@ struct RunRecord {
   std::uint64_t events = 0;
   bool recovery_attempted = false;
   bool recovered = false;
+  bool mission_ran = false;
+  MissionReport mission;
 };
 
 /// Simulates runs [lo, hi) into their record slots. One Replayer and one
@@ -63,7 +65,22 @@ void simulate_chunk(const CompiledSchedule& compiled,
 
     RunRecord record;
     ReplaySummary summary;
-    if (options.recover) {
+    if (options.mission) {
+      const RunTrace trace = replayer.run(compiled, run_options, &summary);
+      if (!trace.ok()) {
+        // The mission replays from the root itself, so it receives the
+        // scripted prefix only: re-sampling the hazard model with the same
+        // (seed, run) streams reproduces this run's failure times while
+        // extending the horizon round by round.
+        RuntimeOptions mission_options = run_options;
+        mission_options.faults.events.resize(scripted_faults);
+        record.mission =
+            options.mission(trace, mission_options, static_cast<std::uint64_t>(r));
+        record.mission_ran = true;
+        record.recovery_attempted = true;
+        record.recovered = record.mission.recovered;
+      }
+    } else if (options.recover) {
       const RunTrace trace = replayer.run(compiled, run_options, &summary);
       if (!trace.ok()) {
         record.recovery_attempted = true;
@@ -104,7 +121,27 @@ FleetSummary reduce(const std::vector<RunRecord>& records, const FleetOptions& o
     summary.recovery_attempts += record.recovery_attempted ? 1 : 0;
     summary.recovered += record.recovered ? 1 : 0;
     summary.events += record.events;
+    if (record.mission_ran) {
+      ++summary.missions;
+      summary.missions_recovered += record.mission.recovered ? 1 : 0;
+      summary.missions_degraded += record.mission.degraded ? 1 : 0;
+      summary.mission_rounds += record.mission.rounds;
+      summary.mission_credit = summary.mission_credit + record.mission.credit;
+      const std::size_t bucket = static_cast<std::size_t>(record.mission.rounds);
+      if (summary.mission_rounds_histogram.size() <= bucket) {
+        summary.mission_rounds_histogram.resize(bucket + 1, 0);
+      }
+      ++summary.mission_rounds_histogram[bucket];
+    }
   }
+  summary.mission_survival_rate =
+      summary.missions > 0
+          ? static_cast<double>(summary.missions_recovered) / summary.missions
+          : 0.0;
+  summary.mean_mission_rounds =
+      summary.missions > 0
+          ? static_cast<double>(summary.mission_rounds) / summary.missions
+          : 0.0;
 
   const int broken = summary.device_failed + summary.attempts_exhausted;
   summary.mttf_minutes =

@@ -16,6 +16,17 @@
 
 namespace cohls::sim {
 
+/// What a multi-fault recovery mission reported for one broken run (see
+/// core::run_mission; the sim layer only carries the digest so fleets can
+/// reduce mission-survival curves without depending on core).
+struct MissionReport {
+  bool recovered = false;  ///< the mission replayed to completion
+  int rounds = 0;          ///< recovery rounds performed (faults survived)
+  bool degraded = false;   ///< a round used the heuristic-only ladder
+  Minutes credit{0};       ///< cumulative elapsed-time credit carried
+  Minutes completed_at{0};  ///< mission-clock end when recovered
+};
+
 struct FleetOptions {
   /// Number of seeded replays.
   int runs = 1000;
@@ -32,6 +43,15 @@ struct FleetOptions {
   /// returns whether recovery (e.g. core re-synthesis of the residual
   /// assay) succeeded. Must be thread-safe and deterministic in the trace.
   std::function<bool(const RunTrace&)> recover;
+  /// Optional multi-fault mission probe; takes precedence over `recover`.
+  /// Called for every broken run with the trace, the run's replay options
+  /// restricted to the *scripted* fault prefix (the mission re-samples the
+  /// hazard model per round with the same (seed, run) streams and its own
+  /// per-round horizons), and the run index. Must be thread-safe and
+  /// deterministic in its arguments — the reduction stays bit-identical
+  /// across worker counts.
+  std::function<MissionReport(const RunTrace&, const RuntimeOptions&, std::uint64_t)>
+      mission;
   /// Buckets of the completion-time histogram.
   int histogram_buckets = 16;
 };
@@ -60,6 +80,25 @@ struct FleetSummary {
   std::uint64_t events = 0;
   /// Calendar-wheel statistics merged across all workers.
   EventWheel::Stats wheel;
+
+  // Multi-fault mission reductions (populated when a mission probe is set;
+  // zero otherwise). A "mission" is one broken run driven through the
+  // re-entrant replay→recover loop.
+  int missions = 0;
+  int missions_recovered = 0;  ///< recovered after >= 1 rounds
+  int missions_degraded = 0;   ///< missions with a heuristic-only round
+  /// Total recovery rounds across all missions.
+  std::int64_t mission_rounds = 0;
+  /// missions_recovered / missions; 0 when no mission ran.
+  double mission_survival_rate = 0.0;
+  /// mission_rounds / missions; 0 when no mission ran.
+  double mean_mission_rounds = 0.0;
+  /// Total elapsed-time credit carried across mission rounds, in minutes.
+  Minutes mission_credit{0};
+  /// mission_rounds_histogram[k] = missions that performed exactly k
+  /// recovery rounds (size = max observed rounds + 1; empty without
+  /// missions).
+  std::vector<int> mission_rounds_histogram;
 };
 
 /// Simulates `options.runs` seeded replays of `result` and reduces them.

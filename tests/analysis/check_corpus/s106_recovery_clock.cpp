@@ -1,0 +1,18 @@
+// S106 corpus: clock reads in a recovery-path file. Checked under the path
+// "src/core/recovery.cpp" — even steady_clock (fine elsewhere under S103)
+// is banned there, because the mission loop must be a pure function of its
+// inputs to keep fleet reductions bit-identical across worker counts.
+#include <chrono>
+#include <thread>
+
+namespace corpus {
+
+long elapsed_guess() {
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(end - start)
+      .count();
+}
+
+}  // namespace corpus

@@ -96,6 +96,21 @@ TEST(SourceCheckCorpus, FileSuppressionCoversTheWholeFile) {
   EXPECT_EQ(codes_of(found), std::vector<std::string>{});
 }
 
+TEST(SourceCheckCorpus, RecoveryClockFiresS106) {
+  // The corpus snippet fires only when checked under a recovery path: two
+  // steady_clock reads plus one sleep_for.
+  const fs::path path =
+      fs::path(COHLS_CHECK_CORPUS_DIR) / "s106_recovery_clock.cpp";
+  const std::string text = read_file(path);
+  const auto found = check_source("src/core/recovery.cpp", text);
+  EXPECT_EQ(codes_of(found),
+            (std::vector<std::string>{"COHLS-S106", "COHLS-S106",
+                                      "COHLS-S106"}));
+  // Outside the recovery paths, steady_clock and sleep_for are S103-clean.
+  EXPECT_EQ(codes_of(check_source("src/engine/batch.cpp", text)),
+            std::vector<std::string>{});
+}
+
 // --- checker behaviors beyond the corpus ------------------------------------
 
 TEST(SourceCheck, AllowlistExemptsRngImplementation) {
@@ -111,6 +126,14 @@ TEST(SourceCheck, WallClockAllowlistIsAnOption) {
       "auto t = std::chrono::system_clock::now();\n";
   EXPECT_TRUE(check_source("src/util/stopwatch.cpp", text, options).empty());
   EXPECT_EQ(check_source("src/core/other.cpp", text, options).size(), 1u);
+}
+
+TEST(SourceCheck, RecoveryPathsAreAnOption) {
+  SourceCheckOptions options;
+  options.recovery_paths.push_back("engine/mission.");
+  const std::string text = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(check_source("src/engine/mission.cpp", text, options).size(), 1u);
+  EXPECT_TRUE(check_source("src/engine/other.cpp", text, options).empty());
 }
 
 TEST(SourceCheck, WerrorPromotesSeverity) {
@@ -161,10 +184,10 @@ TEST(SourceCheck, ReferenceMutexMembersAreExempt) {
 
 TEST(SourceCheck, CodesAreStableAndSorted) {
   const std::vector<std::string>& codes = source_check_codes();
-  EXPECT_EQ(codes.size(), 5u);
+  EXPECT_EQ(codes.size(), 6u);
   EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));
   EXPECT_EQ(codes.front(), "COHLS-S101");
-  EXPECT_EQ(codes.back(), "COHLS-S105");
+  EXPECT_EQ(codes.back(), "COHLS-S106");
 }
 
 // --- self-hosting gate: this repository's src/ tree is clean ----------------

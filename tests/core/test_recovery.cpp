@@ -226,5 +226,245 @@ TEST(Recover, MoreIndeterminateOpsThanSurvivorsReportsE300) {
   EXPECT_EQ(outcome.diagnostics.front().code, diag::codes::kRecoveryInfeasible);
 }
 
+TEST(Recover, SoleDeviceChipReportsStructuredE301) {
+  // Regression for the device-budget derivation: when the failed device was
+  // the only device on the chip (the extreme only-instance-of-its-class
+  // case), the surviving inventory is empty. The budget must come from the
+  // survivors — never `max_devices - struck`, which would underflow — and
+  // the outcome must be structured E301 diagnostics, not a crash.
+  model::Assay assay{"sole-device"};
+  model::OperationSpec a;
+  a.name = "A";
+  a.container = model::ContainerKind::Chamber;
+  a.capacity = model::Capacity::Tiny;
+  a.duration = 20_min;
+  const OperationId a_id = assay.add_operation(a);
+  model::OperationSpec b = a;
+  b.name = "B";
+  b.parents = {a_id};
+  (void)assay.add_operation(b);
+
+  SynthesisOptions options;
+  options.max_devices = 4;
+  const SynthesisReport report = synthesize(assay, options);
+  ASSERT_EQ(report.result.devices.size(), 1);
+
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  runtime.faults.events.push_back(sim::FaultEvent{
+      sim::FaultKind::DeviceFailure, DeviceId{0}, OperationId{}, 5_min});
+  const sim::RunTrace trace = sim::simulate_run(report.result, assay, runtime);
+  ASSERT_EQ(trace.outcome, sim::RunOutcome::DeviceFailed);
+
+  const RecoveryOutcome outcome = recover(assay, report.result, trace, options);
+  EXPECT_FALSE(outcome.recovered);
+  EXPECT_TRUE(outcome.residual.surviving_devices.empty());
+  ASSERT_FALSE(outcome.diagnostics.empty());
+  for (const diag::Diagnostic& d : outcome.diagnostics) {
+    EXPECT_EQ(d.code, diag::codes::kRecoveryUnbindable);
+  }
+}
+
+// --- re-entrant multi-fault missions ----------------------------------------
+
+/// Extends `runtime` with one more device failure that is guaranteed to
+/// strand work AND leave the mission survivable: run the mission as
+/// scripted so far, collect the stitched windows that start strictly after
+/// every scripted fault and last at least two minutes, and kill the first
+/// candidate's device one minute in whose loss the mission still recovers
+/// from (a window can be the last hardware able to run an outstanding
+/// operation — a correct E301 freeze, but not the chain this builds).
+void add_breaking_fault(const Fixture& f, sim::RuntimeOptions& runtime,
+                        const MissionOptions& mission) {
+  const MissionOutcome out = run_mission(f.assay, f.report.result, runtime, mission);
+  ASSERT_TRUE(out.recovered) << (out.diagnostics.empty()
+                                     ? "no diagnostics"
+                                     : out.diagnostics.front().message);
+  Minutes last{0};
+  for (const sim::FaultEvent& event : runtime.faults.events) {
+    last = std::max(last, event.at);
+  }
+  std::vector<const sim::OperationTrace*> windows;
+  for (const sim::LayerTrace& layer : out.final_trace.layers) {
+    for (const sim::OperationTrace& op : layer.operations) {
+      if (op.start > last && op.actual >= 2_min) {
+        windows.push_back(&op);
+      }
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const sim::OperationTrace* a, const sim::OperationTrace* b) {
+              return a->start < b->start;
+            });
+  for (const sim::OperationTrace* window : windows) {
+    runtime.faults.events.push_back(sim::FaultEvent{sim::FaultKind::DeviceFailure,
+                                                    window->device, OperationId{},
+                                                    window->start + 1_min});
+    const MissionOutcome probe =
+        run_mission(f.assay, f.report.result, runtime, mission);
+    if (probe.recovered) {
+      return;
+    }
+    runtime.faults.events.pop_back();
+  }
+  FAIL() << "no survivable breakable window after minute " << last.count();
+}
+
+TEST(Mission, SurvivesThreeSeededFaultsEndToEnd) {
+  const Fixture f;
+  MissionOptions mission;
+  mission.synthesis = f.options;
+  mission.max_rounds = 5;
+
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  for (int k = 0; k < 3; ++k) {
+    add_breaking_fault(f, runtime, mission);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+
+  const MissionOutcome out = run_mission(f.assay, f.report.result, runtime, mission);
+  EXPECT_TRUE(out.recovered) << (out.diagnostics.empty()
+                                     ? "no diagnostics"
+                                     : diag::summary_line(out.diagnostics.front()));
+  EXPECT_EQ(out.rounds, 3);
+  ASSERT_EQ(out.round_log.size(), 3u);
+  EXPECT_TRUE(out.diagnostics.empty());
+  EXPECT_GE(out.fault_chain.size(), 3u);
+
+  // Every round along the way certified, break times strictly increase, and
+  // the carried credit is the monotone sum of per-round grants.
+  Minutes credit_sum{0};
+  Minutes previous_break{0};
+  for (const MissionRound& round : out.round_log) {
+    EXPECT_TRUE(round.recovered);
+    EXPECT_FALSE(round.degraded);
+    EXPECT_GT(round.break_at, previous_break);
+    previous_break = round.break_at;
+    EXPECT_GE(round.credit, Minutes{0});
+    credit_sum = credit_sum + round.credit;
+  }
+  EXPECT_EQ(out.credit_carried, credit_sum);
+  EXPECT_GT(out.completed_at, out.round_log.back().break_at);
+
+  // The stitched end-to-end trace completes every root operation exactly
+  // once — pinned continuations finish, lost work re-ran.
+  const std::set<OperationId> done(out.final_trace.completed.begin(),
+                                   out.final_trace.completed.end());
+  EXPECT_EQ(static_cast<int>(done.size()), f.assay.operation_count());
+  EXPECT_EQ(out.final_trace.completed.size(), done.size());
+  EXPECT_EQ(out.final_trace.outcome, sim::RunOutcome::Completed);
+}
+
+TEST(Mission, ExhaustedRoundsFreezeWithE305AndFaultChain) {
+  const Fixture f;
+  MissionOptions mission;
+  mission.synthesis = f.options;
+  mission.max_rounds = 5;
+
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  for (int k = 0; k < 2; ++k) {
+    add_breaking_fault(f, runtime, mission);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+
+  MissionOptions capped = mission;
+  capped.max_rounds = 1;
+  const MissionOutcome out = run_mission(f.assay, f.report.result, runtime, capped);
+  EXPECT_FALSE(out.recovered);
+  EXPECT_EQ(out.rounds, 1);
+  ASSERT_FALSE(out.diagnostics.empty());
+  EXPECT_EQ(out.diagnostics.front().code, diag::codes::kRecoveryBudgetExhausted);
+  // The full fault chain rides along as notes on the frozen diagnostic.
+  ASSERT_GE(out.diagnostics.front().notes.size(), 2u);
+  for (const diag::Note& note : out.diagnostics.front().notes) {
+    EXPECT_EQ(note.message.rfind("fault chain: ", 0), 0u) << note.message;
+  }
+  EXPECT_GE(out.fault_chain.size(), 2u);
+  ASSERT_EQ(out.round_log.size(), 2u);
+  EXPECT_TRUE(out.round_log.front().recovered);
+  EXPECT_FALSE(out.round_log.back().recovered);
+}
+
+TEST(Mission, TightRoundBudgetDegradesInsteadOfFailing) {
+  const Fixture f;
+  MissionOptions mission;
+  mission.synthesis = f.options;
+  mission.max_rounds = 3;
+  // A budget that expires before the first synthesis pass even starts: the
+  // round blows its deadline, and instead of cancelling, the mission retries
+  // heuristic-only and flags the degradation.
+  mission.round_budget_seconds = 1e-9;
+
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  const DeviceId victim = f.report.result.layers.front().items.front().device;
+  runtime.faults.events.push_back(
+      sim::FaultEvent{sim::FaultKind::DeviceFailure, victim, OperationId{}, 30_min});
+
+  const MissionOutcome out = run_mission(f.assay, f.report.result, runtime, mission);
+  EXPECT_TRUE(out.recovered) << (out.diagnostics.empty()
+                                     ? "no diagnostics"
+                                     : out.diagnostics.front().message);
+  EXPECT_TRUE(out.degraded);
+  ASSERT_EQ(out.round_log.size(), 1u);
+  EXPECT_TRUE(out.round_log.front().degraded);
+  EXPECT_TRUE(out.round_log.front().recovered);
+
+  // With degradation disabled the same budget must cancel instead.
+  MissionOptions strict = mission;
+  strict.degrade_on_deadline = false;
+  EXPECT_THROW((void)run_mission(f.assay, f.report.result, runtime, strict),
+               CancelledError);
+}
+
+TEST(Mission, PinnedDeviceDeathRestoresFullDuration) {
+  const Fixture f;
+  const sim::RunTrace first = f.break_at(30_min);
+  ASSERT_FALSE(first.ok());
+  // A pinned operation whose credit is worth losing: still >= 2 minutes of
+  // remaining work when its device dies one minute into the continuation.
+  const sim::InFlightOperation* pinned = nullptr;
+  for (const sim::InFlightOperation& item : first.in_flight) {
+    if (item.remaining >= 2_min && item.elapsed >= 1_min) {
+      pinned = &item;
+      break;
+    }
+  }
+  ASSERT_NE(pinned, nullptr);
+
+  sim::RuntimeOptions runtime;
+  runtime.attempt_success_probability = 1.0;
+  const DeviceId victim = f.report.result.layers.front().items.front().device;
+  runtime.faults.events.push_back(
+      sim::FaultEvent{sim::FaultKind::DeviceFailure, victim, OperationId{}, 30_min});
+  runtime.faults.events.push_back(sim::FaultEvent{
+      sim::FaultKind::DeviceFailure, pinned->device, OperationId{}, 31_min});
+
+  MissionOptions mission;
+  mission.synthesis = f.options;
+  mission.max_rounds = 3;
+  const MissionOutcome out = run_mission(f.assay, f.report.result, runtime, mission);
+  ASSERT_TRUE(out.recovered) << (out.diagnostics.empty()
+                                     ? "no diagnostics"
+                                     : out.diagnostics.front().message);
+  EXPECT_EQ(out.rounds, 2);
+
+  // The credit carried for the pinned op died with its device: its final
+  // stitched execution runs the full root duration again.
+  const sim::OperationTrace* rerun = nullptr;
+  for (const sim::LayerTrace& layer : out.final_trace.layers) {
+    for (const sim::OperationTrace& op : layer.operations) {
+      if (op.op == pinned->op) {
+        rerun = &op;  // keep the last occurrence
+      }
+    }
+  }
+  ASSERT_NE(rerun, nullptr);
+  EXPECT_EQ(rerun->actual, f.assay.operation(pinned->op).duration());
+  EXPECT_GT(rerun->start, 31_min);
+}
+
 }  // namespace
 }  // namespace cohls::core

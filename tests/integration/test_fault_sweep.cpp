@@ -6,6 +6,7 @@
 // deterministic per seed, so any failure here is reproducible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/recovery.hpp"
 #include "sim/faults.hpp"
 #include "sim/runtime.hpp"
+#include "util/rng.hpp"
 
 namespace cohls {
 namespace {
@@ -180,6 +182,77 @@ TEST(FaultSweep, ExhaustionAtEachIndeterminateOpRecoversOrReportsE3xx) {
       EXPECT_TRUE(all_e3xx(outcome.diagnostics)) << "op " << op.value();
     }
   }
+}
+
+TEST(FaultSweep, RandomMultiFaultMissionsRecoverOrReportE3xx) {
+  // The multi-fault analogue of the single-fault sweeps above: for every
+  // shipped protocol, draw seeded random sequences of 2-4 device failures
+  // across the healthy makespan and drive them through the re-entrant
+  // mission loop. The acceptance criterion is the mission contract: every
+  // round along the way certified and the stitched replay completed, or a
+  // frozen run with structured COHLS-E3xx evidence — never a crash, never
+  // an uncertified continuation.
+  const core::SynthesisOptions options = sweep_options();
+  core::MissionOptions mission;
+  mission.synthesis = options;
+  mission.max_rounds = 4;
+
+  int recovered_multi = 0;
+  int frozen = 0;
+  for (const Protocol& protocol : protocols()) {
+    const core::SynthesisReport report = core::synthesize(protocol.assay, options);
+    const std::vector<model::Device>& devices = report.result.devices.devices();
+    ASSERT_FALSE(devices.empty()) << protocol.name;
+
+    sim::RuntimeOptions healthy;
+    const sim::RunTrace base = sim::simulate_run(report.result, protocol.assay, healthy);
+    ASSERT_TRUE(base.ok()) << protocol.name;
+    const std::int64_t makespan = base.completed_at.count();
+
+    for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u}) {
+      Rng rng(derive_stream_seed(seed, 0x4D554C5449ULL, 0));  // "MULTI"
+      sim::RuntimeOptions runtime;
+      runtime.seed = seed;
+      const int faults = static_cast<int>(rng.uniform_int(2, 4));
+      for (int k = 0; k < faults; ++k) {
+        const DeviceId victim =
+            devices[static_cast<std::size_t>(rng.uniform_int(
+                        0, static_cast<std::int64_t>(devices.size()) - 1))]
+                .id;
+        const Minutes when{rng.uniform_int(1, std::max<std::int64_t>(makespan, 2))};
+        runtime.faults.events.push_back(sim::FaultEvent{sim::FaultKind::DeviceFailure,
+                                                        victim, OperationId{}, when});
+      }
+
+      const core::MissionOutcome out =
+          core::run_mission(protocol.assay, report.result, runtime, mission);
+      if (out.recovered) {
+        EXPECT_TRUE(out.diagnostics.empty())
+            << protocol.name << " seed " << seed << ": recovered mission still "
+            << "carries " << out.diagnostics.front().code;
+        EXPECT_EQ(out.final_trace.outcome, sim::RunOutcome::Completed);
+        for (const core::MissionRound& round : out.round_log) {
+          EXPECT_TRUE(round.recovered) << protocol.name << " seed " << seed;
+        }
+        recovered_multi += out.rounds >= 2 ? 1 : 0;
+      } else {
+        EXPECT_TRUE(all_e3xx(out.diagnostics))
+            << protocol.name << ": frozen mission (seed " << seed
+            << ") lacks structured E3xx evidence";
+        ++frozen;
+      }
+      // The composite outcome is deterministic in its inputs.
+      const core::MissionOutcome again =
+          core::run_mission(protocol.assay, report.result, runtime, mission);
+      EXPECT_EQ(again.recovered, out.recovered) << protocol.name << " seed " << seed;
+      EXPECT_EQ(again.rounds, out.rounds);
+      EXPECT_EQ(again.credit_carried, out.credit_carried);
+      EXPECT_EQ(again.fault_chain.size(), out.fault_chain.size());
+    }
+  }
+  // The fuzz must exercise both arms: some chains survive multiple rounds,
+  // some freeze with evidence.
+  EXPECT_GT(recovered_multi + frozen, 0);
 }
 
 }  // namespace

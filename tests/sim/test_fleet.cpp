@@ -49,6 +49,55 @@ void expect_summary_identical(const sim::FleetSummary& a, const sim::FleetSummar
   EXPECT_EQ(a.wheel.popped, b.wheel.popped);
   EXPECT_EQ(a.wheel.cascaded, b.wheel.cascaded);
   EXPECT_EQ(a.wheel.overflowed, b.wheel.overflowed);
+  EXPECT_EQ(a.missions, b.missions);
+  EXPECT_EQ(a.missions_recovered, b.missions_recovered);
+  EXPECT_EQ(a.missions_degraded, b.missions_degraded);
+  EXPECT_EQ(a.mission_rounds, b.mission_rounds);
+  EXPECT_EQ(a.mission_survival_rate, b.mission_survival_rate);
+  EXPECT_EQ(a.mean_mission_rounds, b.mean_mission_rounds);
+  EXPECT_EQ(a.mission_credit, b.mission_credit);
+  EXPECT_EQ(a.mission_rounds_histogram, b.mission_rounds_histogram);
+}
+
+/// The multi-fault mission probe the batch engine wires up: every broken
+/// fleet run re-enters core::run_mission with the fleet's own hazard
+/// streams, so continuation replays admit exactly the failures the root
+/// sampling clipped.
+sim::FleetOptions mission_fleet_options(const Fixture& f, int runs,
+                                        std::uint64_t seed,
+                                        const sim::HazardModel& hazard) {
+  core::SynthesisOptions synth_options;
+  synth_options.max_devices = 12;
+  synth_options.layering.indeterminate_threshold = 3;
+  // Heuristic-only continuations: still certified, but cheap enough that a
+  // 64-run sweep with up to 3 recovery rounds per broken run stays fast
+  // under TSan. Determinism is unaffected.
+  synth_options.engine.enable_ilp = false;
+
+  sim::FleetOptions options;
+  options.runs = runs;
+  options.seed = seed;
+  options.hazard = hazard;
+  options.mission = [&f, &hazard, synth_options, seed](
+                        const sim::RunTrace&, const sim::RuntimeOptions& runtime,
+                        std::uint64_t run) {
+    core::MissionOptions mission;
+    mission.synthesis = synth_options;
+    mission.max_rounds = 3;
+    mission.hazard = &hazard;
+    mission.hazard_seed = seed;
+    mission.hazard_run = run;
+    const core::MissionOutcome out =
+        core::run_mission(f.assay, f.report.result, runtime, mission);
+    sim::MissionReport report;
+    report.recovered = out.recovered;
+    report.rounds = out.rounds;
+    report.degraded = out.degraded;
+    report.credit = out.credit_carried;
+    report.completed_at = out.completed_at;
+    return report;
+  };
+  return options;
 }
 
 TEST(Fleet, HappyPathFleetCompletesEveryRun) {
@@ -181,6 +230,57 @@ TEST(Fleet, ResynthesisRecoveryUnderHazards) {
   const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
   EXPECT_GT(summary.recovery_attempts, 0);
   EXPECT_GE(summary.recovery_attempts, summary.recovered);
+}
+
+TEST(Fleet, MultiFaultMissionSweepSurvivesMultipleRounds) {
+  // Every broken run re-enters the full replay→recover→re-certify mission
+  // loop; re-anchored hazard streams admit the continuation-era failures the
+  // root sampling clipped, so some missions must survive >= 2 faults.
+  const Fixture& f = fixture();
+  const sim::HazardModel hazard =
+      sim::parse_hazard_spec("exp:250", f.assay.registry());
+  sim::FleetOptions options = mission_fleet_options(f, 64, 29, hazard);
+  options.jobs = 4;
+  const sim::FleetSummary summary = sim::run_fleet(f.report.result, f.assay, options);
+
+  const int broken = summary.device_failed + summary.attempts_exhausted;
+  EXPECT_GT(broken, 0);
+  EXPECT_EQ(summary.missions, broken);
+  EXPECT_EQ(summary.recovery_attempts, broken);
+  EXPECT_EQ(summary.recovered, summary.missions_recovered);
+  EXPECT_GT(summary.mission_survival_rate, 0.0);
+  EXPECT_EQ(summary.mission_survival_rate,
+            static_cast<double>(summary.missions_recovered) / summary.missions);
+
+  std::int64_t histogram_rounds = 0;
+  std::int64_t multi_round = 0;
+  for (std::size_t k = 0; k < summary.mission_rounds_histogram.size(); ++k) {
+    histogram_rounds +=
+        static_cast<std::int64_t>(k) * summary.mission_rounds_histogram[k];
+    if (k >= 2) {
+      multi_round += summary.mission_rounds_histogram[k];
+    }
+  }
+  EXPECT_EQ(histogram_rounds, summary.mission_rounds);
+  EXPECT_GT(multi_round, 0) << "no mission needed more than one recovery round";
+}
+
+TEST(Fleet, MissionReductionIsBitIdenticalAcrossWorkerCounts) {
+  const Fixture& f = fixture();
+  const sim::HazardModel hazard =
+      sim::parse_hazard_spec("exp:300", f.assay.registry());
+
+  sim::FleetOptions options = mission_fleet_options(f, 64, 33, hazard);
+  options.jobs = 1;
+  const sim::FleetSummary serial = sim::run_fleet(f.report.result, f.assay, options);
+  options.jobs = 4;
+  const sim::FleetSummary parallel = sim::run_fleet(f.report.result, f.assay, options);
+  options.jobs = 8;
+  const sim::FleetSummary wide = sim::run_fleet(f.report.result, f.assay, options);
+
+  EXPECT_GT(serial.missions, 0);
+  expect_summary_identical(serial, parallel);
+  expect_summary_identical(serial, wide);
 }
 
 TEST(Fleet, SixtyFourRunParallelSweepIsRaceFree) {

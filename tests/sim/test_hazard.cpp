@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "model/components.hpp"
 #include "model/device.hpp"
 #include "util/rng.hpp"
@@ -108,6 +110,43 @@ TEST(Hazard, HorizonClipsSampledFailures) {
   model.sample_into(plan, devices, 3, 0, Minutes{1});
   // Mean of a million minutes: essentially nothing lands before minute 1.
   EXPECT_TRUE(plan.events.empty());
+}
+
+TEST(Hazard, ExtendedHorizonAdmitsExactlyTheClippedEvents) {
+  // The mission loop's re-anchoring contract: each recovery round re-samples
+  // the same (seed, run) counter streams with a horizon pushed out to the
+  // continuation's worst-case end. The longer draw must reproduce every
+  // short-horizon event bit-identically and admit exactly the events the
+  // shorter horizon clipped — nothing else may move.
+  const model::AccessoryRegistry registry;
+  const HazardModel model = parse_hazard_spec("exp:200", registry);
+  const model::DeviceInventory devices = small_inventory();
+  const Minutes short_h{120};
+  const Minutes long_h{1'000'000};
+
+  std::size_t admitted = 0;
+  for (std::uint64_t run = 0; run < 16; ++run) {
+    FaultPlan clipped;
+    FaultPlan extended;
+    model.sample_into(clipped, devices, 42, run, short_h);
+    model.sample_into(extended, devices, 42, run, long_h);
+
+    std::vector<FaultEvent> expected;
+    for (const FaultEvent& event : extended.events) {
+      if (event.at < short_h) {
+        expected.push_back(event);
+      } else {
+        ++admitted;
+      }
+    }
+    ASSERT_EQ(clipped.events.size(), expected.size()) << "run " << run;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(clipped.events[i], expected[i]) << "run " << run;
+    }
+  }
+  // With a 200-minute mean over three devices, the extension must actually
+  // admit some previously clipped failures across 16 runs.
+  EXPECT_GT(admitted, 0u);
 }
 
 TEST(Hazard, ExponentialSampleMatchesInverseCdf) {

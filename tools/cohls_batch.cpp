@@ -46,6 +46,15 @@
 //                          bit-identical for any --jobs value
 //   --fleet-recover        probe degraded-mode recovery on every broken
 //                          fleet run (reports the recovery success rate)
+//   --recover-rounds N     drive broken fault-injection replays (and, with
+//                          --fleet-recover, broken fleet runs) through the
+//                          re-entrant mission loop for up to N recovery
+//                          rounds before freezing with COHLS-E305
+//                          (default 1 = single-fault recovery)
+//   --recover-budget S     per-round recovery wall budget in seconds; a
+//                          round that blows it degrades to a heuristic-only
+//                          continuation (flagged "degraded") instead of
+//                          failing the job (default 0 = no budget)
 //   --save-results DIR     write each result as DIR/<name>.result
 //   --results-json FILE    write the per-job results document (same content
 //                          as --diag-format=json) to FILE
@@ -113,6 +122,8 @@ struct CliOptions {
   std::string hazard_spec;
   std::uint64_t fleet_seed = 1;
   bool fleet_recover = false;
+  int recover_rounds = 1;
+  double recover_budget_seconds = 0.0;
   diag::Format diag_format = diag::Format::Text;
   bool stable_json = false;
 };
@@ -133,6 +144,7 @@ void handle_sigint(int) { g_interrupted = 1; }
                " [--repeat N] [--retries N] [--stall S] [--inject-faults FILE]"
                " [--simulate-seed N] [--fleet N] [--hazard SPEC]"
                " [--fleet-seed N] [--fleet-recover]"
+               " [--recover-rounds N] [--recover-budget S]"
                " [--save-results DIR] [--results-json FILE]"
                " [--metrics-json FILE] [--no-lint] [--lint-only] [--Werror]"
                " [--diag-format=text|json]\n";
@@ -201,6 +213,10 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.fleet_seed = static_cast<std::uint64_t>(numeric_arg(argc, argv, i));
     } else if (arg == "--fleet-recover") {
       cli.fleet_recover = true;
+    } else if (arg == "--recover-rounds") {
+      cli.recover_rounds = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--recover-budget") {
+      cli.recover_budget_seconds = std::stod(string_arg(argc, argv, i));
     } else if (arg == "--save-results") {
       cli.save_results_dir = string_arg(argc, argv, i);
     } else if (arg == "--results-json") {
@@ -315,6 +331,8 @@ int main(int argc, char** argv) {
     job.hazard_spec = cli.hazard_spec;
     job.fleet_seed = cli.fleet_seed;
     job.fleet_recover = cli.fleet_recover;
+    job.recover_rounds = cli.recover_rounds;
+    job.recover_budget_seconds = cli.recover_budget_seconds;
   }
   if (jobs.empty()) {
     std::cerr << "manifest is empty: " << cli.manifest_path << "\n";

@@ -13,8 +13,15 @@
 //   --simulate SEED        simulate one cyberphysical run
 //   --inject-faults FILE   replay the schedule against a fault plan (see
 //                          src/sim/faults.hpp for the plan format) and, if
-//                          the run breaks, attempt degraded-mode recovery
-//                          re-synthesis on the surviving devices
+//                          the run breaks, drive the re-entrant recovery
+//                          mission (replay → recover → re-certify per fault)
+//                          on the surviving devices
+//   --recover-rounds N     faults the recovery mission may survive before
+//                          freezing with COHLS-E305 (default 3)
+//   --recover-budget S     per-round recovery wall budget in seconds; a
+//                          round that blows it degrades to the heuristic-
+//                          only continuation instead of failing (default 0
+//                          = unbudgeted)
 //   --deadline S           abort the synthesis after S seconds
 //   --milp-threads N       workers inside each layer MILP solve (default 0 =
 //                          auto: one per hardware thread; 1 = sequential,
@@ -34,6 +41,7 @@
 //   3 parse error    4 result failed certification   5 infeasible
 //   6 cancelled (deadline exceeded)   7 lint failure
 //   8 run failed (simulated run broke and was not recovered)
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -68,6 +76,8 @@ struct CliOptions {
   bool simulate = false;
   std::uint64_t simulate_seed = 1;
   std::string fault_plan_path;
+  int recover_rounds = 3;
+  double recover_budget_seconds = 0.0;
   std::string save_result_path;
   double deadline_seconds = 0.0;
   /// MilpOptions::threads for the layer solves; 0 = auto (whole machine —
@@ -96,7 +106,8 @@ enum ExitCode : int {
             << " <assay-file> [--max-devices N] [--threshold N] [--transport N]"
                " [--conventional] [--layout] [--no-resynthesis]"
                " [--gantt] [--csv] [--dot] [--placement] [--simulate SEED]"
-               " [--inject-faults FILE] [--save-result FILE] [--deadline S]"
+               " [--inject-faults FILE] [--recover-rounds N] [--recover-budget S]"
+               " [--save-result FILE] [--deadline S]"
                " [--milp-threads N]"
                " [--lint] [--lint-only] [--Werror] [--diag-format=text|json]\n";
   std::exit(kExitUsage);
@@ -142,6 +153,13 @@ CliOptions parse_cli(int argc, char** argv) {
         usage(argv[0]);
       }
       cli.fault_plan_path = argv[++i];
+    } else if (arg == "--recover-rounds") {
+      cli.recover_rounds = static_cast<int>(numeric_arg(argc, argv, i));
+    } else if (arg == "--recover-budget") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      cli.recover_budget_seconds = std::stod(argv[++i]);
     } else if (arg == "--save-result") {
       if (i + 1 >= argc) {
         usage(argv[0]);
@@ -320,22 +338,39 @@ int main(int argc, char** argv) {
           // nonzero exit, never a fabricated success.
           return kExitRunFailed;
         }
-        const core::RecoveryOutcome recovery =
-            core::recover(assay, report.result, trace, synthesis);
-        if (!recovery.recovered) {
-          std::cout << "recovery: FAILED\n";
-          std::cout << diag::render(recovery.diagnostics, cli.diag_format, "");
+        // Re-entrant recovery mission: iterate replay → recover →
+        // re-certify, surviving up to --recover-rounds faults with credit
+        // for work already done carried across rounds.
+        core::MissionOptions mission;
+        mission.synthesis = synthesis;
+        mission.max_rounds = std::max(1, cli.recover_rounds);
+        mission.round_budget_seconds = cli.recover_budget_seconds;
+        const core::MissionOutcome outcome =
+            core::run_mission(assay, report.result, options, mission);
+        for (std::size_t round = 0; round < outcome.round_log.size(); ++round) {
+          const core::MissionRound& entry = outcome.round_log[round];
+          std::cout << "recovery round " << (round + 1) << ": break at minute "
+                    << entry.break_at.count() << " ("
+                    << sim::to_string(entry.outcome);
+          if (entry.failed_device.valid()) {
+            std::cout << ", device " << entry.failed_device;
+          }
+          std::cout << "), " << entry.pinned_ops << " pinned in flight, credit "
+                    << entry.credit << (entry.degraded ? ", DEGRADED" : "")
+                    << (entry.recovered ? "" : ", FAILED") << "\n";
+        }
+        if (!outcome.recovered) {
+          std::cout << "recovery: FAILED after " << outcome.rounds
+                    << " certified round(s)\n";
+          std::cout << diag::render(outcome.diagnostics, cli.diag_format, "");
           return kExitRunFailed;
         }
-        const model::Assay& residual = recovery.residual.assay;
-        std::cout << "recovery: certified continuation over "
-                  << residual.operation_count() << " outstanding operations ("
-                  << recovery.residual.pinned.size() << " pinned in flight, "
-                  << recovery.residual.surviving_devices.size()
-                  << " surviving devices)\n";
-        std::cout << "continuation time: "
-                  << recovery.continuation.result.total_time(residual) << " in "
-                  << recovery.continuation.result.layers.size() << " layers\n";
+        std::cout << "recovery: recovered after " << outcome.rounds
+                  << " fault(s); mission completed at minute "
+                  << outcome.completed_at.count() << " with "
+                  << outcome.credit_carried << " credit carried"
+                  << (outcome.degraded ? " (degraded continuation)" : "")
+                  << "\n";
       }
     }
     return certification.empty() ? kExitOk : kExitInvalid;
